@@ -1,0 +1,71 @@
+// X2 — Fig. 5: direct N-dimensional box aggregation (the "ideal" the paper
+// bypassed because optimal box cover is suspected NP-hard) versus the curve
+// reduction it used instead. We run the greedy box coalescer on the exact
+// key sets a sliding-median mapper emits and compare aggregate-key counts
+// and serialized key bytes against Z-order / Hilbert range coalescing.
+#include <iostream>
+
+#include "bench_util/bench_util.h"
+#include "scikey/box_coalescer.h"
+#include "scikey/curve_space.h"
+#include "scikey/aggregate_key.h"
+#include "sfc/clustering.h"
+
+using namespace scishuffle;
+
+namespace {
+
+/// Emission footprint of a mapper owning rows [r0, r1) of an n x n grid with
+/// a 3x3 window: the expanded slab.
+std::vector<grid::Coord> mapperCells(i64 r0, i64 r1, i64 n) {
+  std::vector<grid::Coord> cells;
+  const grid::Box slab({r0 - 1, -1}, {r1 - r0 + 2, n + 2});
+  slab.forEachCell([&](const grid::Coord& c) { cells.push_back(c); });
+  return cells;
+}
+
+u64 curveRangeCount(sfc::CurveKind kind, const grid::Box& domain,
+                    const std::vector<grid::Coord>& cells) {
+  const scikey::CurveSpace space(kind, domain);
+  std::vector<sfc::CurveIndex> indices;
+  indices.reserve(cells.size());
+  for (const auto& c : cells) indices.push_back(space.encode(c));
+  std::sort(indices.begin(), indices.end());
+  u64 runs = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i == 0 || indices[i] != indices[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("X2: Fig. 5 — greedy N-D box aggregation vs curve-range aggregation");
+  const i64 n = 96;
+  const grid::Box domain = grid::Box::fromExtents({-1, -1}, {n + 1, n + 1});
+
+  bench::Table table({"mapper slab", "cells", "greedy boxes", "zorder ranges", "hilbert ranges",
+                      "box key bytes", "zorder key bytes"});
+  for (const auto& [r0, r1] : std::vector<std::pair<i64, i64>>{{0, 24}, {24, 48}, {0, 96}}) {
+    const auto cells = mapperCells(r0, r1, n);
+    bench::Timer t;
+    const auto boxes = scikey::coalesceCells(cells);
+    const double boxSecs = t.seconds();
+    const u64 z = curveRangeCount(sfc::CurveKind::kZOrder, domain, cells);
+    const u64 h = curveRangeCount(sfc::CurveKind::kHilbert, domain, cells);
+    table.addRow({"rows [" + std::to_string(r0) + "," + std::to_string(r1) + ")",
+                  bench::withCommas(cells.size()), std::to_string(boxes.size()),
+                  bench::withCommas(z), bench::withCommas(h),
+                  bench::withCommas(boxes.size() * scikey::boxKeySize(2)),
+                  bench::withCommas(z * scikey::kAggregateKeySize)});
+    (void)boxSecs;
+  }
+  table.print();
+  std::cout << "\na mapper's emission footprint is one rectangle, so direct box aggregation\n"
+               "is unbeatable *per mapper* (1 box); the curve pays tens-to-hundreds of\n"
+               "ranges for the same set. The paper still chose the curve because boxes\n"
+               "make routing/overlap splitting N-dimensional (Fig. 5/7) while ranges keep\n"
+               "it 1-D — and general (non-rectangular) key sets lose the box advantage.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// A3 — §IV-A flush threshold: "Aggregation is performed on subsets of the
+// intermediate data due to memory limitations... keys generated after a
+// flush cannot be aggregated with keys generated before a flush, but the
+// effect should be minimal." We sweep the buffer budget and measure how much
+// aggregation quality degrades.
+#include <iostream>
+
+#include "bench_util/bench_util.h"
+#include "hadoop/runtime.h"
+#include "scikey/sliding_query.h"
+
+using namespace scishuffle;
+
+int main() {
+  bench::banner("A3: §IV-A — aggregation buffer flush threshold");
+  const grid::Variable input = bench::makeIntGrid("v", {160, 160}, 5);
+
+  bench::Table table({"flush threshold", "flushes", "aggregate records", "materialized bytes",
+                      "vs unbounded"});
+  u64 baseline = 0;
+  for (const std::size_t threshold :
+       {std::size_t{256} << 20, std::size_t{1} << 20, std::size_t{128} << 10,
+        std::size_t{32} << 10, std::size_t{8} << 10}) {
+    scikey::SlidingQueryConfig config;
+    config.num_mappers = 4;
+    config.flush_threshold_bytes = threshold;
+    hadoop::JobConfig base;
+    base.num_reducers = 4;
+    scikey::PreparedJob job = buildAggregateSlidingJob(input, config, base);
+    const auto result = hadoop::runJob(job.job, job.map_tasks, job.reduce);
+    check(flattenAggregateOutputs(result, *job.space) == slidingOracle(input, config),
+          "flush run diverged from oracle");
+
+    const u64 bytes = result.counters.get(hadoop::counter::kMapOutputMaterializedBytes);
+    if (baseline == 0) baseline = bytes;
+    table.addRow({bench::humanBytes(static_cast<double>(threshold)),
+                  bench::withCommas(job.routing_counters->get(hadoop::counter::kAggregateFlushes)),
+                  bench::withCommas(result.counters.get(hadoop::counter::kMapOutputRecords)),
+                  bench::withCommas(bytes),
+                  bench::percentChange(static_cast<double>(baseline), static_cast<double>(bytes))});
+  }
+  table.print();
+  std::cout << "\npaper: flushing fragments runs across flush boundaries, but the effect on\n"
+               "total intermediate size should be (and is) minimal until budgets get tiny.\n";
+  return 0;
+}

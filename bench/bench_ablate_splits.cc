@@ -1,0 +1,45 @@
+// X5 — input-split shape ablation: Hadoop's default 1-D slab splits vs
+// recursive bisection (near-cubical splits). Compact mapper footprints sit
+// on fewer space-filling-curve runs, so they aggregate better — the same
+// reasoning behind SciHadoop's chunk-aligned partitioning.
+#include <iostream>
+
+#include "bench_util/bench_util.h"
+#include "hadoop/runtime.h"
+#include "scikey/sliding_query.h"
+
+using namespace scishuffle;
+
+int main() {
+  bench::banner("X5: input-split shape (slabs vs recursive bisection)");
+  const grid::Variable input = bench::makeIntGrid("v", {192, 192}, 41);
+
+  bench::Table table({"splits", "strategy", "aggregate records", "materialized bytes",
+                      "routing splits"});
+  for (const int mappers : {4, 16, 64}) {
+    for (const auto strategy :
+         {scikey::SplitStrategy::kSlabs, scikey::SplitStrategy::kRecursiveBisect}) {
+      scikey::SlidingQueryConfig config;
+      config.num_mappers = mappers;
+      config.split_strategy = strategy;
+      hadoop::JobConfig base;
+      base.num_reducers = 4;
+      base.map_slots = 8;
+      scikey::PreparedJob job = buildAggregateSlidingJob(input, config, base);
+      const auto result = hadoop::runJob(job.job, job.map_tasks, job.reduce);
+      check(flattenAggregateOutputs(result, *job.space) == slidingOracle(input, config),
+            "split ablation diverged from oracle");
+      table.addRow({std::to_string(mappers),
+                    strategy == scikey::SplitStrategy::kSlabs ? "slabs" : "bisect",
+                    bench::withCommas(result.counters.get(hadoop::counter::kMapOutputRecords)),
+                    bench::withCommas(
+                        result.counters.get(hadoop::counter::kMapOutputMaterializedBytes)),
+                    bench::withCommas(
+                        job.routing_counters->get(hadoop::counter::kKeySplitsRouting))});
+    }
+  }
+  table.print();
+  std::cout << "\nthin slabs shred the curve into short runs as the mapper count grows;\n"
+               "compact splits keep aggregation effective at high parallelism.\n";
+  return 0;
+}

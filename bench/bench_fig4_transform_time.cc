@@ -1,0 +1,40 @@
+// E4 — Fig. 4: transform time versus file size.
+//
+// The transform has constant-size state and no lookahead, so its cost must
+// be linear in the input (paper: "The time to transform the data is linear
+// in the file size"). We sweep n*n*n walks and fit time = a*size + b.
+#include <iostream>
+
+#include "bench_util/bench_util.h"
+#include "transform/predictive_transform.h"
+
+using namespace scishuffle;
+
+int main() {
+  bench::banner("E4: Fig. 4 — transform time vs file size (linearity)");
+  const transform::PredictiveTransform transform{};
+
+  std::vector<double> sizesMb;
+  std::vector<double> times;
+  bench::Table table({"grid", "file size (MB)", "transform time (s)", "MB/s"});
+  for (const i64 n : {20, 30, 40, 50, 60, 70, 80}) {
+    const Bytes stream = bench::gridWalkStream(n);
+    bench::Timer t;
+    const Bytes residuals = transform.forward(stream);
+    const double secs = t.seconds();
+    check(residuals.size() == stream.size(), "transform must preserve size");
+    const double mb = static_cast<double>(stream.size()) / 1e6;
+    sizesMb.push_back(mb);
+    times.push_back(secs);
+    table.addRow({std::to_string(n) + "^3", bench::fixed(mb, 2), bench::fixed(secs, 3),
+                  bench::fixed(mb / secs, 1)});
+  }
+  table.print();
+
+  const auto fit = bench::fitLinear(sizesMb, times);
+  std::cout << "\nlinear fit: time = " << bench::fixed(fit.slope * 1000, 2) << " ms/MB * size + "
+            << bench::fixed(fit.intercept * 1000, 1) << " ms,  R^2 = "
+            << bench::fixed(fit.r_squared, 4) << "\n";
+  std::cout << "paper: linear with ~zero intercept (constant in-memory state, no lookahead).\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E5 — §III stride-selection claims:
+//  (a) brute force (active set == full set, never evicted) is ~4x slower
+//      than the adaptive detector at max stride 100 and ~17x at 1000;
+//  (b) a single user-specified stride of 12 compresses worse than all
+//      strides < 100 (paper: 1619 vs 701 bytes after bzip2);
+//  (c) the adaptive detector can even beat the exhaustive search
+//      (paper: 468 vs 701 bytes) because eviction/readmission reacts to
+//      input changes instead of averaging over the whole stream.
+#include <iostream>
+
+#include "bench_util/bench_util.h"
+#include "compress/bzip2ish.h"
+#include "transform/predictive_transform.h"
+
+using namespace scishuffle;
+
+namespace {
+
+double timeTransform(const transform::TransformConfig& config, const Bytes& stream,
+                     Bytes* out = nullptr) {
+  const transform::PredictiveTransform t(config);
+  bench::Timer timer;
+  Bytes residuals = t.forward(stream);
+  const double secs = timer.seconds();
+  if (out != nullptr) *out = std::move(residuals);
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E5: §III — adaptive vs brute-force stride detection");
+  // Ratios are what the paper reports; a 40^3 walk keeps the brute-force
+  // max-stride-1000 run tractable while preserving them.
+  const Bytes stream = bench::gridWalkStream(40);
+  std::cout << "input: 40^3 walk, " << bench::withCommas(stream.size()) << " bytes\n";
+
+  bench::Table speed({"max stride", "adaptive (s)", "brute force (s)", "slowdown", "paper"});
+  for (const int maxStride : {100, 1000}) {
+    transform::TransformConfig adaptive;
+    adaptive.max_stride = maxStride;
+    transform::TransformConfig brute = adaptive;
+    brute.adaptive = false;
+    const double ta = timeTransform(adaptive, stream);
+    const double tb = timeTransform(brute, stream);
+    speed.addRow({std::to_string(maxStride), bench::fixed(ta, 2), bench::fixed(tb, 2),
+                  bench::fixed(tb / ta, 1) + "x", maxStride == 100 ? "~4x" : "~17x"});
+  }
+  speed.print();
+
+  bench::banner("E5b: compressed size by stride policy (bzip2ish after transform)");
+  const Bzip2ishCodec bzip2ish;
+  bench::Table sizes({"policy", "bzip2ish bytes", "paper (bytes)"});
+
+  auto compressedWith = [&](const transform::TransformConfig& config) {
+    Bytes residuals;
+    timeTransform(config, stream, &residuals);
+    return bzip2ish.compress(residuals).size();
+  };
+
+  transform::TransformConfig single12;
+  single12.explicit_strides = {12};
+  single12.adaptive = false;
+  sizes.addRow({"single stride 12", bench::withCommas(compressedWith(single12)), "1,619"});
+
+  transform::TransformConfig bruteAll;
+  bruteAll.max_stride = 99;
+  bruteAll.adaptive = false;
+  sizes.addRow(
+      {"all strides < 100 (exhaustive)", bench::withCommas(compressedWith(bruteAll)), "701"});
+
+  transform::TransformConfig adaptive;
+  adaptive.max_stride = 100;
+  sizes.addRow({"adaptive (active set)", bench::withCommas(compressedWith(adaptive)), "468"});
+
+  sizes.print();
+  std::cout << "\npaper ordering: single-stride > exhaustive > adaptive;\n"
+               "the transform does not directly optimize compressed size, so the adaptive\n"
+               "detector beating the exhaustive one is expected to be input-dependent.\n";
+  return 0;
+}

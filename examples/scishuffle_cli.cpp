@@ -1,0 +1,274 @@
+// scishuffle_cli — command-line driver tying the library together:
+//
+//   scishuffle_cli gen <file.nc> <name> <dim> [dim...]      generate a dataset
+//   scishuffle_cli info <file.nc>                           list variables
+//   scishuffle_cli query <file.nc> <variable> <median|mean|sum>
+//                  [--aggregate] [--radius R] [--mappers M] [--reducers R]
+//                  [--codec C] [--curve C] [--report]
+//                  [--out out.seq]                          run a sliding query
+//   scishuffle_cli slab <file.nc> <variable> <median|mean|sum> <dim> [dim...]
+//                  [--mappers M] [--reducers R] [--combiner] [--report]
+//                                                           reduce away dims
+//   scishuffle_cli codec <name> <in> <out.z>                compress a file
+//   scishuffle_cli decodec <name> <in.z> <out>              decompress a file
+//   scishuffle_cli inspect <file>                           stride detection report
+//   scishuffle_cli selftest                                 end-to-end smoke test
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "grid/ncfile.h"
+#include "hadoop/report.h"
+#include "hadoop/runtime.h"
+#include "hadoop/sequence_file.h"
+#include "io/streams.h"
+#include "scikey/slab_query.h"
+#include "scikey/sliding_query.h"
+#include "transform/stride_model.h"
+#include "transform/transform_codec.h"
+
+using namespace scishuffle;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: scishuffle_cli <gen|info|query|codec|decodec|inspect|selftest> ...\n"
+               "see the header of examples/scishuffle_cli.cpp for details\n";
+  return 2;
+}
+
+int cmdGen(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const std::filesystem::path path = args[0];
+  std::vector<i64> dims;
+  for (std::size_t i = 2; i < args.size(); ++i) dims.push_back(std::stol(args[i]));
+  grid::Dataset ds;
+  auto& v = ds.addVariable(args[1], grid::DataType::kInt32, grid::Shape(dims));
+  grid::gen::fillRandomInt(v, 2012, 1 << 16);
+  grid::saveDataset(path, ds);
+  std::cout << "wrote " << path << " with int32 variable '" << args[1] << "' of shape "
+            << v.shape().toString() << "\n";
+  return 0;
+}
+
+int cmdInfo(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const grid::Dataset ds = grid::loadDataset(args[0]);
+  for (const auto& name : ds.variableNames()) {
+    const auto& v = ds.variable(name);
+    std::cout << name << "  " << grid::dataTypeName(v.type()) << "  " << v.shape().toString()
+              << "  (" << v.raw().size() << " bytes)\n";
+  }
+  return 0;
+}
+
+int cmdQuery(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const grid::Dataset ds = grid::loadDataset(args[0]);
+  const grid::Variable& input = ds.variable(args[1]);
+  check(input.type() == grid::DataType::kInt32, "query requires an int32 variable");
+
+  scikey::SlidingQueryConfig query;
+  if (args[2] == "median") {
+    query.op = scikey::CellOp::kMedian;
+  } else if (args[2] == "mean") {
+    query.op = scikey::CellOp::kMean;
+  } else if (args[2] == "sum") {
+    query.op = scikey::CellOp::kSum;
+  } else {
+    return usage();
+  }
+
+  hadoop::JobConfig job;
+  bool aggregate = false;
+  bool report = false;
+  std::filesystem::path outPath;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      check(i + 1 < args.size(), "flag needs a value");
+      return args[++i];
+    };
+    if (args[i] == "--aggregate") {
+      aggregate = true;
+    } else if (args[i] == "--report") {
+      report = true;
+    } else if (args[i] == "--radius") {
+      query.window_radius = std::stoi(next());
+    } else if (args[i] == "--mappers") {
+      query.num_mappers = std::stoi(next());
+      job.map_slots = query.num_mappers;
+    } else if (args[i] == "--reducers") {
+      job.num_reducers = std::stoi(next());
+    } else if (args[i] == "--codec") {
+      job.intermediate_codec = next();
+    } else if (args[i] == "--curve") {
+      query.curve = sfc::curveKindFromName(next());
+    } else if (args[i] == "--out") {
+      outPath = next();
+    } else {
+      std::cerr << "unknown flag " << args[i] << "\n";
+      return usage();
+    }
+  }
+
+  const scikey::PreparedJob prepared = aggregate
+                                           ? buildAggregateSlidingJob(input, query, job)
+                                           : buildSimpleSlidingJob(input, query, job);
+  const auto result = hadoop::runJob(prepared.job, prepared.map_tasks, prepared.reduce);
+
+  if (report) {
+    std::cout << hadoop::jobReport(result);
+  } else {
+    std::cout << result.counters.toString();
+    std::cout << "map phase " << result.timings.map_phase_us / 1000 << " ms, reduce phase "
+              << result.timings.reduce_phase_us / 1000 << " ms\n";
+  }
+
+  if (!outPath.empty()) {
+    FileSink sink(outPath);
+    hadoop::SequenceFileHeader header;
+    header.key_class = aggregate ? "scikey.AggregateKey" : "scikey.SimpleKey";
+    header.value_class = "int32";
+    writeJobOutputs(sink, result.outputs, header);
+    std::cout << "wrote outputs to " << outPath << "\n";
+  }
+  return 0;
+}
+
+scikey::CellOp parseOp(const std::string& name) {
+  if (name == "median") return scikey::CellOp::kMedian;
+  if (name == "mean") return scikey::CellOp::kMean;
+  if (name == "sum") return scikey::CellOp::kSum;
+  throw std::out_of_range("unknown op: " + name);
+}
+
+int cmdSlab(const std::vector<std::string>& args) {
+  if (args.size() < 4) return usage();
+  const grid::Dataset ds = grid::loadDataset(args[0]);
+  const grid::Variable& input = ds.variable(args[1]);
+  check(input.type() == grid::DataType::kInt32, "slab query requires an int32 variable");
+
+  scikey::SlabQueryConfig query;
+  query.op = parseOp(args[2]);
+  hadoop::JobConfig job;
+  bool report = false;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      check(i + 1 < args.size(), "flag needs a value");
+      return args[++i];
+    };
+    if (args[i] == "--mappers") {
+      query.num_mappers = std::stoi(next());
+      job.map_slots = query.num_mappers;
+    } else if (args[i] == "--reducers") {
+      job.num_reducers = std::stoi(next());
+    } else if (args[i] == "--combiner") {
+      query.use_combiner = true;
+    } else if (args[i] == "--report") {
+      report = true;
+    } else if (!args[i].empty() && args[i][0] != '-') {
+      query.reduced_dims.push_back(std::stoi(args[i]));
+    } else {
+      std::cerr << "unknown flag " << args[i] << "\n";
+      return usage();
+    }
+  }
+
+  const auto prepared = buildAggregateSlabJob(input, query, job);
+  const auto result = hadoop::runJob(prepared.job, prepared.map_tasks, prepared.reduce);
+  std::cout << (report ? hadoop::jobReport(result) : hadoop::jobSummaryLine(result) + "\n");
+  return 0;
+}
+
+int cmdCodec(const std::vector<std::string>& args, bool decompress) {
+  if (args.size() != 3) return usage();
+  registerTransformCodecs();
+  const auto codec = CodecRegistry::instance().create(args[0]);
+  FileSource in(args[1]);
+  const Bytes data = in.readAll();
+  const Bytes out = decompress ? codec->decompress(data) : codec->compress(data);
+  FileSink sink(args[2]);
+  sink.write(out);
+  std::cout << data.size() << " -> " << out.size() << " bytes ("
+            << (decompress ? "decompressed" : "compressed") << " with " << codec->name() << ")\n";
+  return 0;
+}
+
+int cmdInspect(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  FileSource in(args[0]);
+  const Bytes data = in.readAll();
+  transform::TransformConfig config;
+  transform::StrideModel model(config);
+  u64 predicted = 0;
+  for (const u8 b : data) {
+    if (model.predict()) ++predicted;
+    model.consume(b);
+  }
+  std::cout << "bytes: " << data.size() << ", predicted: " << predicted << " ("
+            << (data.empty() ? 0 : 100 * predicted / data.size()) << "%)\nactive strides:";
+  for (const int s : model.activeStrides()) std::cout << " " << s;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmdSelftest() {
+  const auto dir = std::filesystem::temp_directory_path() / "scishuffle_cli_selftest";
+  std::filesystem::create_directories(dir);
+  const auto nc = (dir / "data.nc").string();
+  const auto seq = (dir / "out.seq").string();
+  const auto z = (dir / "data.z").string();
+  const auto back = (dir / "data.back").string();
+
+  int rc = cmdGen({nc, "pressure", "48", "48"});
+  if (rc == 0) rc = cmdInfo({nc});
+  if (rc == 0) {
+    rc = cmdQuery({nc, "pressure", "median", "--aggregate", "--mappers", "4", "--reducers", "3",
+                   "--out", seq});
+  }
+  if (rc == 0) rc = cmdSlab({nc, "pressure", "sum", "1", "--combiner", "--report"});
+  if (rc == 0) rc = cmdCodec({"transform+gzipish", nc, z}, /*decompress=*/false);
+  if (rc == 0) rc = cmdCodec({"transform+gzipish", z, back}, /*decompress=*/true);
+  if (rc == 0) {
+    FileSource a(nc), b(back);
+    check(a.readAll() == b.readAll(), "codec round trip through files failed");
+  }
+  if (rc == 0) rc = cmdInspect({nc});
+  if (rc == 0) {
+    // The SequenceFile we wrote must parse.
+    FileSource s(seq);
+    const Bytes file = s.readAll();
+    hadoop::SequenceFileReader reader(file);
+    u64 records = 0;
+    while (reader.next()) ++records;
+    check(records > 0, "no records in query output");
+    std::cout << "query output records: " << records << "\n";
+  }
+  std::filesystem::remove_all(dir);
+  std::cout << (rc == 0 ? "selftest OK\n" : "selftest FAILED\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "gen") return cmdGen(args);
+    if (cmd == "info") return cmdInfo(args);
+    if (cmd == "query") return cmdQuery(args);
+    if (cmd == "slab") return cmdSlab(args);
+    if (cmd == "codec") return cmdCodec(args, false);
+    if (cmd == "decodec") return cmdCodec(args, true);
+    if (cmd == "inspect") return cmdInspect(args);
+    if (cmd == "selftest") return cmdSelftest();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,76 @@
+// SciHadoop-style subsetting/resampling query on a named float variable:
+// compute the windowed *mean* of an int-quantized windspeed field over a
+// sub-box of the domain, with aggregate keys. Demonstrates:
+//   * multi-variable datasets and variable indices in keys,
+//   * a query restricted to a region of interest (mappers read a sub-box),
+//   * a different cell op (mean) through the same aggregation machinery.
+//
+// Usage: windspeed_subset [side]
+#include <cstdlib>
+#include <iostream>
+
+#include "grid/dataset.h"
+#include "hadoop/runtime.h"
+#include "scikey/sliding_query.h"
+
+using namespace scishuffle;
+
+int main(int argc, char** argv) {
+  const i64 side = argc > 1 ? std::atol(argv[1]) : 96;
+
+  // A dataset with two variables; we query the second one.
+  grid::Dataset ds;
+  auto& temperature = ds.addVariable("temperature", grid::DataType::kInt32,
+                                     grid::Shape({side, side}));
+  grid::gen::fillRandomInt(temperature, 1, 40);
+  auto& windspeed = ds.addVariable("windspeed1", grid::DataType::kFloat32,
+                                   grid::Shape({side, side}));
+  grid::gen::fillWindspeed(windspeed, 99);
+
+  // Quantize windspeed to int32 (m/s * 100) for the integer pipeline — the
+  // region of interest is the central quarter of the domain.
+  const i64 quarter = side / 4;
+  grid::Variable roi("windspeed1_cmps", grid::DataType::kInt32,
+                     grid::Shape({side - 2 * quarter, side - 2 * quarter}));
+  const grid::Box roiBox({0, 0}, roi.shape().dims());
+  roiBox.forEachCell([&](const grid::Coord& c) {
+    const grid::Coord src{c[0] + quarter, c[1] + quarter};
+    roi.setInt32(c, static_cast<i32>(windspeed.float32At(src) * 100.0f));
+  });
+
+  std::cout << "windowed mean of windspeed1 over the central " << roi.shape().toString()
+            << " of a " << side << "x" << side << " field (variable #"
+            << ds.variableIndex("windspeed1") << " of " << ds.variableNames().size()
+            << " in the dataset)\n\n";
+
+  scikey::SlidingQueryConfig query;
+  query.op = scikey::CellOp::kMean;
+  query.window_radius = 2;  // 5x5 smoothing window
+  query.num_mappers = 6;
+
+  hadoop::JobConfig base;
+  base.num_reducers = 3;
+  base.intermediate_codec = "gzipish";
+
+  auto job = scikey::buildAggregateSlidingJob(roi, query, base);
+  const auto result = hadoop::runJob(job.job, job.map_tasks, job.reduce);
+  const auto cells = scikey::flattenAggregateOutputs(result, *job.space);
+
+  // Spot-check the smoothed field and verify against the oracle.
+  const auto oracle = scikey::slidingOracle(roi, query);
+  std::cout << "cells produced: " << cells.size()
+            << (cells == oracle ? " (verified against serial oracle)" : " MISMATCH!") << "\n";
+
+  const grid::Coord center{roi.shape().dim(0) / 2, roi.shape().dim(1) / 2};
+  std::cout << "smoothed windspeed at " << grid::coordToString(center) << ": "
+            << static_cast<double>(cells.at(center)) / 100.0 << " m/s (raw "
+            << static_cast<double>(roi.int32At(center)) / 100.0 << ")\n";
+
+  std::cout << "\nintermediate data: "
+            << result.counters.get(hadoop::counter::kMapOutputMaterializedBytes)
+            << " bytes materialized for "
+            << result.counters.get(hadoop::counter::kMapOutputRecords)
+            << " aggregate records (vs " << oracle.size() * 25
+            << "+ bytes of raw per-point traffic)\n";
+  return cells == oracle ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "cluster/cost_model.h"
+
+#include <sstream>
+
+namespace scishuffle::cluster {
+
+namespace {
+constexpr double kUsPerS = 1e6;
+constexpr double kBytesPerMb = 1e6;
+
+double mb(u64 bytes) { return static_cast<double>(bytes) / kBytesPerMb; }
+}  // namespace
+
+std::string PhaseBreakdown::toString() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "map " << mapPhase() << "s (cpu " << map_cpu_s << " + io " << map_io_s << "), shuffle "
+     << shufflePhase() << "s (net " << shuffle_net_s << " + disk " << shuffle_disk_s
+     << "), reduce " << reducePhase() << "s (cpu " << reduce_cpu_s << " + io " << reduce_io_s
+     << "), total " << total() << "s";
+  return os.str();
+}
+
+PhaseBreakdown CostModel::estimate(const hadoop::Counters& counters, u64 outputBytes,
+                                   double scale) const {
+  namespace c = hadoop::counter;
+  const double clusterDisk = spec_.disk_mb_per_s * spec_.nodes;
+  const double clusterNet = spec_.net_mb_per_s * spec_.nodes;
+
+  auto cpuS = [&](const char* name) {
+    return scale * spec_.cpu_scale * static_cast<double>(counters.get(name)) / kUsPerS;
+  };
+  auto scaledMb = [&](const char* name) { return scale * mb(counters.get(name)); };
+
+  PhaseBreakdown out;
+  // Map-side CPU: the user map function (including aggregation), the sort,
+  // and intermediate compression, spread over the cluster's map slots.
+  out.map_cpu_s =
+      (cpuS(c::kMapCpuUs) + cpuS(c::kSortCpuUs) + cpuS(c::kCodecCompressCpuUs)) /
+      spec_.map_slots;
+  // Map-side disk: the materialized map output is written once.
+  out.map_io_s = scaledMb(c::kMapOutputMaterializedBytes) / clusterDisk;
+
+  // Shuffle: same bytes cross the network and land on reducer disks.
+  out.shuffle_net_s = scaledMb(c::kReduceShuffleBytes) / clusterNet;
+  out.shuffle_disk_s = scaledMb(c::kReduceShuffleBytes) / clusterDisk;
+
+  // Reduce: read everything back, pay extra merge passes twice (read+write),
+  // decompress + reduce CPU over reduce slots, write the final output.
+  out.reduce_cpu_s =
+      (cpuS(c::kCodecDecompressCpuUs) + cpuS(c::kReduceCpuUs)) / spec_.reduce_slots;
+  out.reduce_io_s = (scaledMb(c::kReduceShuffleBytes) +
+                     2.0 * scaledMb(c::kReduceMergeMaterializedBytes) + scale * mb(outputBytes)) /
+                    clusterDisk;
+  return out;
+}
+
+}  // namespace scishuffle::cluster

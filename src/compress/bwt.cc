@@ -1,0 +1,207 @@
+#include "compress/bwt.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scishuffle::bwt {
+
+namespace {
+
+/// Fills `heads` with the index of the first slot of each symbol's bucket.
+void bucketHeads(const std::vector<i32>& s, std::vector<i32>& heads, i32 alphabet) {
+  heads.assign(alphabet, 0);
+  for (const i32 c : s) ++heads[c];
+  i32 sum = 0;
+  for (i32 c = 0; c < alphabet; ++c) {
+    const i32 count = heads[c];
+    heads[c] = sum;
+    sum += count;
+  }
+}
+
+/// Fills `tails` with one past the last slot of each symbol's bucket.
+void bucketTails(const std::vector<i32>& s, std::vector<i32>& tails, i32 alphabet) {
+  tails.assign(alphabet, 0);
+  for (const i32 c : s) ++tails[c];
+  i32 sum = 0;
+  for (i32 c = 0; c < alphabet; ++c) {
+    sum += tails[c];
+    tails[c] = sum;
+  }
+}
+
+/// Induced sort of L-type then S-type suffixes given LMS seeds already in sa.
+void induce(const std::vector<i32>& s, std::vector<i32>& sa, const std::vector<bool>& isS,
+            i32 alphabet) {
+  const i32 n = static_cast<i32>(s.size());
+  std::vector<i32> bkt;
+  bucketHeads(s, bkt, alphabet);
+  for (i32 i = 0; i < n; ++i) {
+    const i32 j = sa[i] - 1;
+    if (sa[i] > 0 && !isS[j]) sa[bkt[s[j]]++] = j;
+  }
+  bucketTails(s, bkt, alphabet);
+  for (i32 i = n - 1; i >= 0; --i) {
+    const i32 j = sa[i] - 1;
+    if (sa[i] > 0 && isS[j]) sa[--bkt[s[j]]] = j;
+  }
+}
+
+/// SA-IS core. s must end with a unique, smallest sentinel symbol (0).
+/// Produces the full suffix array of s (including the sentinel suffix).
+void sais(const std::vector<i32>& s, std::vector<i32>& sa, i32 alphabet) {
+  const i32 n = static_cast<i32>(s.size());
+  sa.assign(s.size(), -1);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  std::vector<bool> isS(s.size());
+  isS[n - 1] = true;
+  for (i32 i = n - 2; i >= 0; --i) {
+    isS[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && isS[i + 1]);
+  }
+  auto isLms = [&](i32 i) { return i > 0 && isS[i] && !isS[i - 1]; };
+
+  std::vector<i32> lms;  // LMS positions in text order
+  for (i32 i = 1; i < n; ++i) {
+    if (isLms(i)) lms.push_back(i);
+  }
+
+  // Pass 1: seed LMS suffixes at bucket tails (arbitrary relative order) and
+  // induce to sort the LMS *substrings*.
+  {
+    std::vector<i32> bkt;
+    bucketTails(s, bkt, alphabet);
+    for (const i32 i : lms) sa[--bkt[s[i]]] = i;
+    induce(s, sa, isS, alphabet);
+  }
+
+  // Name LMS substrings in their sorted order.
+  std::vector<i32> sortedLms;
+  sortedLms.reserve(lms.size());
+  for (const i32 pos : sa) {
+    if (pos > 0 && isLms(pos)) sortedLms.push_back(pos);
+  }
+
+  std::vector<i32> nameOf(s.size(), -1);
+  i32 names = 0;
+  i32 prev = -1;
+  for (const i32 cur : sortedLms) {
+    bool differs = prev < 0;
+    if (!differs) {
+      // Compare LMS substrings [prev..] vs [cur..]: equal iff symbols and
+      // S/L types match up to and including the next LMS position.
+      for (i32 d = 0;; ++d) {
+        const i32 a = prev + d;
+        const i32 b = cur + d;
+        if (a >= n || b >= n || s[a] != s[b] || isS[a] != isS[b]) {
+          differs = true;
+          break;
+        }
+        if (d > 0 && (isLms(a) || isLms(b))) {
+          differs = !(isLms(a) && isLms(b));
+          break;
+        }
+      }
+    }
+    if (differs) ++names;
+    nameOf[cur] = names - 1;
+    prev = cur;
+  }
+
+  // Order LMS suffixes: either names are unique already, or recurse on the
+  // reduced string of names (which ends with the sentinel's unique name 0).
+  std::vector<i32> lmsOrder(lms.size());
+  if (names == static_cast<i32>(lms.size())) {
+    for (std::size_t k = 0; k < lms.size(); ++k) {
+      lmsOrder[nameOf[lms[k]]] = static_cast<i32>(k);
+    }
+  } else {
+    std::vector<i32> reduced(lms.size());
+    for (std::size_t k = 0; k < lms.size(); ++k) reduced[k] = nameOf[lms[k]];
+    std::vector<i32> subSa;
+    sais(reduced, subSa, names);
+    lmsOrder.assign(subSa.begin(), subSa.end());
+  }
+
+  // Pass 2: seed LMS suffixes in their true sorted order and induce again.
+  std::fill(sa.begin(), sa.end(), -1);
+  {
+    std::vector<i32> bkt;
+    bucketTails(s, bkt, alphabet);
+    for (i32 k = static_cast<i32>(lmsOrder.size()) - 1; k >= 0; --k) {
+      const i32 pos = lms[lmsOrder[k]];
+      sa[--bkt[s[pos]]] = pos;
+    }
+    induce(s, sa, isS, alphabet);
+  }
+}
+
+}  // namespace
+
+std::vector<i32> suffixArray(ByteSpan text) {
+  std::vector<i32> s(text.size() + 1);
+  for (std::size_t i = 0; i < text.size(); ++i) s[i] = static_cast<i32>(text[i]) + 1;
+  s[text.size()] = 0;
+  std::vector<i32> sa;
+  sais(s, sa, 257);
+  // Drop the sentinel suffix (always first).
+  return {sa.begin() + 1, sa.end()};
+}
+
+Transformed forward(ByteSpan block) {
+  Transformed out;
+  if (block.empty()) return out;
+  std::vector<i32> s(block.size() + 1);
+  for (std::size_t i = 0; i < block.size(); ++i) s[i] = static_cast<i32>(block[i]) + 1;
+  s[block.size()] = 0;
+  std::vector<i32> sa;
+  sais(s, sa, 257);
+
+  out.lastColumn.reserve(block.size());
+  for (std::size_t row = 0; row < sa.size(); ++row) {
+    const i32 pos = sa[row];
+    if (pos == 0) {
+      out.primaryIndex = static_cast<u32>(row);
+    } else {
+      out.lastColumn.push_back(block[static_cast<std::size_t>(pos) - 1]);
+    }
+  }
+  return out;
+}
+
+Bytes inverse(ByteSpan lastColumn, u32 primaryIndex) {
+  const std::size_t n = lastColumn.size();
+  if (n == 0) return {};
+  checkFormat(primaryIndex <= n, "primary index out of range");
+
+  // Reinsert the sentinel row, then walk the LF mapping backwards.
+  std::vector<i32> column(n + 1);
+  for (std::size_t i = 0; i < primaryIndex; ++i) column[i] = static_cast<i32>(lastColumn[i]) + 1;
+  column[primaryIndex] = 0;
+  for (std::size_t i = primaryIndex + 1; i <= n; ++i) {
+    column[i] = static_cast<i32>(lastColumn[i - 1]) + 1;
+  }
+
+  std::vector<i32> cum(258, 0);
+  for (const i32 c : column) ++cum[c + 1];
+  std::partial_sum(cum.begin(), cum.end(), cum.begin());
+
+  std::vector<i32> lf(n + 1);
+  std::vector<i32> seen(257, 0);
+  for (std::size_t i = 0; i <= n; ++i) lf[i] = cum[column[i]] + seen[column[i]]++;
+
+  Bytes out(n);
+  i32 row = 0;
+  for (std::size_t k = n; k-- > 0;) {
+    const i32 c = column[row];
+    checkFormat(c != 0, "corrupt BWT stream");
+    out[k] = static_cast<u8>(c - 1);
+    row = lf[row];
+  }
+  return out;
+}
+
+}  // namespace scishuffle::bwt

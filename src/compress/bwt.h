@@ -1,0 +1,29 @@
+// Burrows-Wheeler transform over byte blocks, built on a linear-time SA-IS
+// suffix array. Used by the bzip2-like codec.
+#pragma once
+
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::bwt {
+
+/// Suffix array by induced sorting (SA-IS). `text` is interpreted over the
+/// alphabet [0, alphabetSize); a virtual sentinel smaller than every symbol
+/// is appended internally. Returns the suffix array of `text` (without the
+/// sentinel entry), i.e. a permutation of [0, text.size()).
+std::vector<i32> suffixArray(ByteSpan text);
+
+/// Result of the forward transform: the last column with the sentinel row
+/// removed, plus the row index where the sentinel fell.
+struct Transformed {
+  Bytes lastColumn;
+  u32 primaryIndex = 0;
+};
+
+Transformed forward(ByteSpan block);
+
+/// Inverse transform.
+Bytes inverse(ByteSpan lastColumn, u32 primaryIndex);
+
+}  // namespace scishuffle::bwt

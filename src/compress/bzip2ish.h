@@ -1,0 +1,27 @@
+// Bzip2ishCodec: block-sorting compressor in the bzip2 family —
+// BWT (SA-IS suffix array) -> move-to-front -> zero-run coding -> canonical
+// Huffman. Self-consistent format, not bzip2-bitstream-compatible.
+//
+// Plays bzip2's role in the paper's Fig. 3: the transform of §III is
+// "synergistic with bzip2 and improves compression even more than it does
+// with gzip" — a property of block sorting that this codec preserves.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace scishuffle {
+
+class Bzip2ishCodec final : public Codec {
+ public:
+  /// blockSize: bytes of input sorted per BWT block (bzip2's -9 uses 900k).
+  explicit Bzip2ishCodec(std::size_t blockSize = 900 * 1000) : blockSize_(blockSize) {}
+
+  std::string name() const override { return "bzip2ish"; }
+  Bytes compress(ByteSpan data) const override;
+  Bytes decompress(ByteSpan data) const override;
+
+ private:
+  std::size_t blockSize_;
+};
+
+}  // namespace scishuffle

@@ -1,0 +1,46 @@
+#include "compress/codec.h"
+
+#include <stdexcept>
+
+#include "compress/bzip2ish.h"
+#include "compress/deflate.h"
+
+namespace scishuffle {
+
+CodecRegistry& CodecRegistry::instance() {
+  static CodecRegistry registry;
+  return registry;
+}
+
+void CodecRegistry::registerCodec(const std::string& name, Factory factory) {
+  for (auto& [n, f] : entries_) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  entries_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Codec> CodecRegistry::create(const std::string& name) const {
+  for (const auto& [n, f] : entries_) {
+    if (n == name) return f();
+  }
+  throw std::out_of_range("unknown codec: " + name);
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [n, f] : entries_) out.push_back(n);
+  return out;
+}
+
+void registerBuiltinCodecs() {
+  auto& r = CodecRegistry::instance();
+  r.registerCodec("null", [] { return std::make_unique<NullCodec>(); });
+  r.registerCodec("gzipish", [] { return std::make_unique<DeflateCodec>(); });
+  r.registerCodec("bzip2ish", [] { return std::make_unique<Bzip2ishCodec>(); });
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,65 @@
+// Pluggable compression codecs, mirroring Hadoop's CompressionCodec factory.
+//
+// SciHadoop's §III approach hooks into Hadoop exactly here: a custom codec
+// ("transform + zlib") is registered and selected by name through job
+// configuration, with no changes to core Hadoop. Our shuffle does the same —
+// see hadoop::JobConfig::intermediate_codec.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle {
+
+/// One-shot block compressor. Implementations must be stateless and
+/// thread-safe: the shuffle invokes them concurrently from map tasks.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Stable identifier used in job configuration and codec lookup.
+  virtual std::string name() const = 0;
+
+  virtual Bytes compress(ByteSpan data) const = 0;
+
+  /// Inverse of compress; throws FormatError on corrupt input.
+  virtual Bytes decompress(ByteSpan data) const = 0;
+};
+
+/// Identity codec: the "no compression" Hadoop default.
+class NullCodec final : public Codec {
+ public:
+  std::string name() const override { return "null"; }
+  Bytes compress(ByteSpan data) const override { return Bytes(data.begin(), data.end()); }
+  Bytes decompress(ByteSpan data) const override { return Bytes(data.begin(), data.end()); }
+};
+
+/// Global name -> factory registry.
+class CodecRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Codec>()>;
+
+  static CodecRegistry& instance();
+
+  /// Registers a factory; overwrites any previous binding for the name.
+  void registerCodec(const std::string& name, Factory factory);
+
+  /// Instantiates a codec by name; throws std::out_of_range if unknown.
+  std::unique_ptr<Codec> create(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+/// Registers the codecs built into this library ("null", "gzipish",
+/// "bzip2ish") plus, once transform is linked, the transform-composed ones.
+/// Safe to call repeatedly.
+void registerBuiltinCodecs();
+
+}  // namespace scishuffle

@@ -1,0 +1,293 @@
+#include "compress/deflate.h"
+
+#include <algorithm>
+#include <array>
+
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+#include "io/bitio.h"
+#include "io/crc32.h"
+#include "io/primitives.h"
+#include "io/streams.h"
+
+namespace scishuffle {
+
+namespace {
+
+constexpr u32 kMagic = 0x535A4731;  // "SZG1"
+constexpr std::size_t kNumLitLen = 286;
+constexpr std::size_t kNumDist = 30;
+constexpr int kMaxCodeBits = 15;
+constexpr std::size_t kTokensPerBlock = 1 << 16;
+
+// Block types, mirroring RFC 1951 BTYPE: a block is whichever of the three
+// encodings is smallest for its contents.
+constexpr u32 kBlockStored = 0;
+constexpr u32 kBlockStatic = 1;
+constexpr u32 kBlockDynamic = 2;
+
+// RFC 1951 length code table: symbol 257+i covers lengths starting at
+// kLenBase[i] with kLenExtra[i] extra bits.
+constexpr std::array<u16, 29> kLenBase = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                          15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                          67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<u8, 29> kLenExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                          2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+constexpr std::array<u32, 30> kDistBase = {1,    2,    3,    4,    5,    7,     9,    13,
+                                           17,   25,   33,   49,   65,   97,    129,  193,
+                                           257,  385,  513,  769,  1025, 1537,  2049, 3073,
+                                           4097, 6145, 8193, 12289, 16385, 24577};
+constexpr std::array<u8, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                           4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                           9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int lengthSymbol(u32 len) {
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLenBase[i]) return i;
+  }
+  throw FormatError("bad match length");
+}
+
+int distanceSymbol(u32 dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= kDistBase[i]) return i;
+  }
+  throw FormatError("bad match distance");
+}
+
+/// RFC 1951 fixed (static) code lengths.
+std::vector<u8> staticLitLengths() {
+  std::vector<u8> lengths(kNumLitLen);
+  for (std::size_t s = 0; s < kNumLitLen; ++s) {
+    if (s <= 143) {
+      lengths[s] = 8;
+    } else if (s <= 255) {
+      lengths[s] = 9;
+    } else if (s <= 279) {
+      lengths[s] = 7;
+    } else {
+      lengths[s] = 8;
+    }
+  }
+  return lengths;
+}
+
+std::vector<u8> staticDistLengths() { return std::vector<u8>(kNumDist, 5); }
+
+void writeBlockHeader(BitWriter& bw, const std::vector<u8>& litLengths,
+                      const std::vector<u8>& distLengths) {
+  std::vector<u8> all(litLengths);
+  all.insert(all.end(), distLengths.begin(), distLengths.end());
+  bw.writeBits(static_cast<u32>(litLengths.size() - 257), 6);
+  bw.writeBits(static_cast<u32>(distLengths.size() - 1), 6);
+  huffman::writeCompressedLengths(bw, all);
+}
+
+std::pair<std::vector<u8>, std::vector<u8>> readBlockHeader(BitReader& br) {
+  const std::size_t numLit = br.readBits(6) + 257;
+  const std::size_t numDist = br.readBits(6) + 1;
+  checkFormat(numLit <= kNumLitLen && numDist <= kNumDist, "bad table sizes");
+  const auto all = huffman::readCompressedLengths(br, numLit + numDist);
+  return {std::vector<u8>(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(numLit)),
+          std::vector<u8>(all.begin() + static_cast<std::ptrdiff_t>(numLit), all.end())};
+}
+
+struct BlockPlan {
+  std::span<const lz77::Token> tokens;
+  ByteSpan raw;  // original bytes covered by these tokens (for stored blocks)
+  std::vector<u8> litLengths;
+  std::vector<u8> distLengths;
+};
+
+/// Writes the token payload under the given code tables.
+void writeTokens(BitWriter& bw, const BlockPlan& plan) {
+  const huffman::Encoder litEnc(plan.litLengths);
+  const huffman::Encoder distEnc(plan.distLengths);
+  for (const auto& t : plan.tokens) {
+    if (t.length == 0) {
+      litEnc.encode(bw, t.literal);
+    } else {
+      const int ls = lengthSymbol(t.length);
+      litEnc.encode(bw, static_cast<u32>(257 + ls));
+      bw.writeBits(t.length - kLenBase[ls], kLenExtra[ls]);
+      const int ds = distanceSymbol(t.distance);
+      distEnc.encode(bw, static_cast<u32>(ds));
+      bw.writeBits(t.distance - kDistBase[ds], kDistExtra[ds]);
+    }
+  }
+  litEnc.encode(bw, 256);
+}
+
+/// Exact bit cost of a token payload under given code lengths.
+u64 payloadBits(const BlockPlan& plan) {
+  u64 bits = plan.litLengths[256];
+  for (const auto& t : plan.tokens) {
+    if (t.length == 0) {
+      bits += plan.litLengths[t.literal];
+    } else {
+      const int ls = lengthSymbol(t.length);
+      bits += plan.litLengths[static_cast<std::size_t>(257 + ls)] + kLenExtra[ls];
+      const int ds = distanceSymbol(t.distance);
+      bits += plan.distLengths[static_cast<std::size_t>(ds)] + kDistExtra[ds];
+    }
+  }
+  return bits;
+}
+
+/// Bit cost of the dynamic header (measured by writing it to a null sink).
+u64 dynamicHeaderBits(const BlockPlan& plan) {
+  NullSink null;
+  BitWriter bw(null);
+  writeBlockHeader(bw, plan.litLengths, plan.distLengths);
+  return bw.bitsWritten();
+}
+
+}  // namespace
+
+Bytes DeflateCodec::compress(ByteSpan data) const {
+  Bytes out;
+  MemorySink sink(out);
+  writeU32(sink, kMagic);
+  writeU64(sink, data.size());
+  writeU32(sink, crc32(data));
+
+  const auto tokens = lz77::parse(data, options_);
+  BitWriter bw(sink);
+
+  const auto staticLit = staticLitLengths();
+  const auto staticDist = staticDistLengths();
+
+  std::size_t start = 0;
+  std::size_t rawStart = 0;
+  do {
+    const std::size_t end = std::min(tokens.size(), start + kTokensPerBlock);
+    const bool final = end == tokens.size();
+    bw.writeBits(final ? 1 : 0, 1);
+
+    // Original byte extent of this token range (for the stored option).
+    std::size_t rawLen = 0;
+    for (std::size_t i = start; i < end; ++i) {
+      rawLen += tokens[i].length == 0 ? 1 : tokens[i].length;
+    }
+
+    BlockPlan plan;
+    plan.tokens = std::span<const lz77::Token>(tokens).subspan(start, end - start);
+    plan.raw = data.subspan(rawStart, rawLen);
+
+    // Dynamic tables from block-local frequencies.
+    std::vector<u64> litFreq(kNumLitLen, 0);
+    std::vector<u64> distFreq(kNumDist, 0);
+    litFreq[256] = 1;  // end-of-block
+    for (const auto& t : plan.tokens) {
+      if (t.length == 0) {
+        ++litFreq[t.literal];
+      } else {
+        ++litFreq[257 + static_cast<std::size_t>(lengthSymbol(t.length))];
+        ++distFreq[static_cast<std::size_t>(distanceSymbol(t.distance))];
+      }
+    }
+    // The distance table must have at least one code or the header Huffman
+    // construction degenerates; give distance 0 a phantom entry if unused.
+    if (std::all_of(distFreq.begin(), distFreq.end(), [](u64 f) { return f == 0; })) {
+      distFreq[0] = 1;
+    }
+    BlockPlan dynamicPlan = plan;
+    dynamicPlan.litLengths = huffman::codeLengths(litFreq, kMaxCodeBits);
+    dynamicPlan.distLengths = huffman::codeLengths(distFreq, kMaxCodeBits);
+    BlockPlan staticPlan = plan;
+    staticPlan.litLengths = staticLit;
+    staticPlan.distLengths = staticDist;
+
+    // Pick the smallest of stored / static / dynamic (RFC 1951's strategy).
+    const u64 dynamicBits = 2 + dynamicHeaderBits(dynamicPlan) + payloadBits(dynamicPlan);
+    const u64 staticBits = 2 + payloadBits(staticPlan);
+    const u64 storedBits = 2 + 7 /* worst-case alignment */ + 32 + 8 * static_cast<u64>(rawLen);
+
+    if (storedBits < dynamicBits && storedBits < staticBits) {
+      bw.writeBits(kBlockStored, 2);
+      bw.alignToByte();
+      sink.write(Bytes{static_cast<u8>(rawLen >> 24), static_cast<u8>(rawLen >> 16),
+                       static_cast<u8>(rawLen >> 8), static_cast<u8>(rawLen)});
+      sink.write(plan.raw);
+    } else if (staticBits <= dynamicBits) {
+      bw.writeBits(kBlockStatic, 2);
+      writeTokens(bw, staticPlan);
+    } else {
+      bw.writeBits(kBlockDynamic, 2);
+      writeBlockHeader(bw, dynamicPlan.litLengths, dynamicPlan.distLengths);
+      writeTokens(bw, dynamicPlan);
+    }
+
+    start = end;
+    rawStart += rawLen;
+  } while (start < tokens.size());
+  bw.finish();
+  return out;
+}
+
+Bytes DeflateCodec::decompress(ByteSpan data) const {
+  MemorySource source(data);
+  checkFormat(readU32(source) == kMagic, "bad gzipish magic");
+  const u64 originalSize = readU64(source);
+  const u32 expectedCrc = readU32(source);
+
+  Bytes out;
+  // The header is untrusted until the CRC check passes; cap the hint so a
+  // corrupt size field cannot trigger a huge allocation.
+  out.reserve(static_cast<std::size_t>(std::min<u64>(originalSize, 1u << 20)));
+  BitReader br(source);
+  bool final = false;
+  while (!final) {
+    final = br.readBits(1) != 0;
+    const u32 blockType = br.readBits(2);
+
+    if (blockType == kBlockStored) {
+      br.alignToByte();
+      u8 lenBytes[4];
+      source.readExact(MutableByteSpan(lenBytes, 4));
+      const u32 len = (static_cast<u32>(lenBytes[0]) << 24) | (static_cast<u32>(lenBytes[1]) << 16) |
+                      (static_cast<u32>(lenBytes[2]) << 8) | lenBytes[3];
+      checkFormat(out.size() + len <= originalSize, "stored block overruns size");
+      const std::size_t at = out.size();
+      out.resize(at + len);
+      source.readExact(MutableByteSpan(out.data() + at, len));
+      continue;
+    }
+
+    std::vector<u8> litLengths;
+    std::vector<u8> distLengths;
+    if (blockType == kBlockStatic) {
+      litLengths = staticLitLengths();
+      distLengths = staticDistLengths();
+    } else {
+      checkFormat(blockType == kBlockDynamic, "bad block type");
+      std::tie(litLengths, distLengths) = readBlockHeader(br);
+    }
+    const huffman::Decoder litDec(litLengths);
+    const huffman::Decoder distDec(distLengths);
+    for (;;) {
+      const u32 sym = litDec.decode(br);
+      if (sym < 256) {
+        out.push_back(static_cast<u8>(sym));
+      } else if (sym == 256) {
+        break;
+      } else {
+        const std::size_t ls = sym - 257;
+        checkFormat(ls < kLenBase.size(), "bad length symbol");
+        const u32 len = kLenBase[ls] + br.readBits(kLenExtra[ls]);
+        const u32 ds = distDec.decode(br);
+        checkFormat(ds < kDistBase.size(), "bad distance symbol");
+        const u32 dist = kDistBase[ds] + br.readBits(kDistExtra[ds]);
+        checkFormat(dist <= out.size(), "distance beyond output");
+        const std::size_t from = out.size() - dist;
+        for (u32 i = 0; i < len; ++i) out.push_back(out[from + i]);
+      }
+    }
+  }
+  checkFormat(out.size() == originalSize, "size mismatch");
+  checkFormat(crc32(out) == expectedCrc, "CRC mismatch");
+  return out;
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,27 @@
+// DeflateCodec ("gzipish"): LZ77 + canonical Huffman with per-block dynamic
+// code tables and an RFC-1951-style compressed code-length header.
+//
+// The bitstream is self-consistent, not zlib-compatible; it plays gzip's role
+// in the paper's experiments (an LZ-window generic compressor that the §III
+// byte transform composes with).
+#pragma once
+
+#include "compress/codec.h"
+#include "compress/lz77.h"
+
+namespace scishuffle {
+
+class DeflateCodec final : public Codec {
+ public:
+  /// level: zlib-style 1 (fastest) .. 9 (best); default 6 like gzip.
+  explicit DeflateCodec(int level = 6) : options_(lz77::ParseOptions::forLevel(level)) {}
+
+  std::string name() const override { return "gzipish"; }
+  Bytes compress(ByteSpan data) const override;
+  Bytes decompress(ByteSpan data) const override;
+
+ private:
+  lz77::ParseOptions options_;
+};
+
+}  // namespace scishuffle

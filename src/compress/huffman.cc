@@ -1,0 +1,240 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scishuffle::huffman {
+
+namespace {
+
+/// An item in the package-merge lists: a weight plus the multiset of leaf
+/// symbols it covers. Symbol counts are small (n <= a few hundred, depth <=
+/// ~20) so explicit symbol lists are cheap and keep the algorithm direct.
+struct Item {
+  u64 weight = 0;
+  std::vector<u16> symbols;
+};
+
+bool weightLess(const Item& a, const Item& b) { return a.weight < b.weight; }
+
+}  // namespace
+
+std::vector<u8> codeLengths(const std::vector<u64>& freqs, int maxLength) {
+  const std::size_t n = freqs.size();
+  std::vector<u8> lengths(n, 0);
+
+  std::vector<Item> leaves;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freqs[s] > 0) leaves.push_back(Item{freqs[s], {static_cast<u16>(s)}});
+  }
+  if (leaves.empty()) return lengths;
+  if (leaves.size() == 1) {
+    lengths[leaves[0].symbols[0]] = 1;
+    return lengths;
+  }
+  check(static_cast<std::size_t>(1) << maxLength >= leaves.size(),
+        "maxLength too small for alphabet");
+
+  std::sort(leaves.begin(), leaves.end(), weightLess);
+
+  // Package-merge: build L lists; list[l] = merge(leaves, packages(list[l-1])).
+  std::vector<Item> current = leaves;
+  for (int level = 2; level <= maxLength; ++level) {
+    std::vector<Item> packages;
+    packages.reserve(current.size() / 2);
+    for (std::size_t i = 0; i + 1 < current.size(); i += 2) {
+      Item pkg;
+      pkg.weight = current[i].weight + current[i + 1].weight;
+      pkg.symbols = current[i].symbols;
+      pkg.symbols.insert(pkg.symbols.end(), current[i + 1].symbols.begin(),
+                         current[i + 1].symbols.end());
+      packages.push_back(std::move(pkg));
+    }
+    std::vector<Item> merged;
+    merged.reserve(leaves.size() + packages.size());
+    std::merge(leaves.begin(), leaves.end(), packages.begin(), packages.end(),
+               std::back_inserter(merged), weightLess);
+    current = std::move(merged);
+  }
+
+  // The first 2n-2 items of the final list define the code: each occurrence
+  // of a symbol adds one to its code length.
+  const std::size_t take = 2 * leaves.size() - 2;
+  check(current.size() >= take, "package-merge underflow");
+  for (std::size_t i = 0; i < take; ++i) {
+    for (const u16 s : current[i].symbols) ++lengths[s];
+  }
+  return lengths;
+}
+
+std::vector<u32> canonicalCodes(const std::vector<u8>& lengths) {
+  int maxLen = 0;
+  for (const u8 l : lengths) maxLen = std::max(maxLen, static_cast<int>(l));
+  std::vector<u32> lenCount(static_cast<std::size_t>(maxLen) + 1, 0);
+  for (const u8 l : lengths) {
+    if (l > 0) ++lenCount[l];
+  }
+  std::vector<u32> nextCode(static_cast<std::size_t>(maxLen) + 1, 0);
+  u32 code = 0;
+  for (int l = 1; l <= maxLen; ++l) {
+    code = (code + lenCount[l - 1]) << 1;
+    nextCode[l] = code;
+  }
+  std::vector<u32> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) codes[s] = nextCode[lengths[s]]++;
+  }
+  return codes;
+}
+
+Encoder::Encoder(const std::vector<u8>& lengths)
+    : lengths_(lengths), codes_(canonicalCodes(lengths)) {}
+
+void Encoder::encode(BitWriter& out, u32 symbol) const {
+  check(symbol < lengths_.size() && lengths_[symbol] > 0, "symbol has no code");
+  out.writeCodeMsbFirst(codes_[symbol], lengths_[symbol]);
+}
+
+Decoder::Decoder(const std::vector<u8>& lengths) {
+  for (const u8 l : lengths) maxLen_ = std::max(maxLen_, static_cast<int>(l));
+  checkFormat(maxLen_ > 0, "empty Huffman table");
+  std::vector<u32> lenCount(static_cast<std::size_t>(maxLen_) + 1, 0);
+  for (const u8 l : lengths) {
+    if (l > 0) ++lenCount[l];
+  }
+  firstCode_.assign(static_cast<std::size_t>(maxLen_) + 1, 0);
+  firstIndex_.assign(static_cast<std::size_t>(maxLen_) + 1, 0);
+  u32 code = 0;
+  u32 index = 0;
+  for (int l = 1; l <= maxLen_; ++l) {
+    code = (code + lenCount[l - 1]) << 1;
+    firstCode_[l] = code;
+    firstIndex_[l] = index;
+    index += lenCount[l];
+  }
+  symbols_.resize(index);
+  std::vector<u32> fill(firstIndex_);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) symbols_[fill[lengths[s]]++] = static_cast<u32>(s);
+  }
+  // Per-length symbol counts, reused during decode to bound code values.
+  // (Recomputed from firstIndex_ on the fly; nothing extra to store.)
+}
+
+u32 Decoder::decode(BitReader& in) const {
+  u32 code = 0;
+  for (int l = 1; l <= maxLen_; ++l) {
+    code = (code << 1) | in.readBit();
+    const u32 count = (l < maxLen_ ? firstIndex_[l + 1] : static_cast<u32>(symbols_.size())) -
+                      firstIndex_[l];
+    if (count > 0 && code >= firstCode_[l] && code - firstCode_[l] < count) {
+      return symbols_[firstIndex_[l] + (code - firstCode_[l])];
+    }
+  }
+  throw FormatError("invalid Huffman code");
+}
+
+namespace {
+
+constexpr std::size_t kNumCodeLenSymbols = 19;
+constexpr int kMaxCodeLenBits = 7;
+
+// Storage order for the code-length-code lengths (RFC 1951): most frequently
+// useful symbols first so trailing zeros can be trimmed.
+constexpr u8 kCodeLenOrder[kNumCodeLenSymbols] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                                  11, 4,  12, 3, 13, 2, 14, 1, 15};
+
+struct CodeLenOp {
+  u8 symbol;
+  u8 extra;
+};
+
+std::vector<CodeLenOp> runLengthEncode(const std::vector<u8>& lengths) {
+  std::vector<CodeLenOp> ops;
+  std::size_t i = 0;
+  while (i < lengths.size()) {
+    const u8 cur = lengths[i];
+    std::size_t run = 1;
+    while (i + run < lengths.size() && lengths[i + run] == cur) ++run;
+    if (cur == 0) {
+      std::size_t left = run;
+      while (left >= 11) {
+        const std::size_t take = std::min<std::size_t>(left, 138);
+        ops.push_back({18, static_cast<u8>(take - 11)});
+        left -= take;
+      }
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 10);
+        ops.push_back({17, static_cast<u8>(take - 3)});
+        left -= take;
+      }
+      while (left-- > 0) ops.push_back({0, 0});
+    } else {
+      ops.push_back({cur, 0});
+      std::size_t left = run - 1;
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 6);
+        ops.push_back({16, static_cast<u8>(take - 3)});
+        left -= take;
+      }
+      while (left-- > 0) ops.push_back({cur, 0});
+    }
+    i += run;
+  }
+  return ops;
+}
+
+}  // namespace
+
+void writeCompressedLengths(BitWriter& out, const std::vector<u8>& lengths) {
+  const auto ops = runLengthEncode(lengths);
+  std::vector<u64> clFreq(kNumCodeLenSymbols, 0);
+  for (const auto& op : ops) ++clFreq[op.symbol];
+  const auto clLengths = codeLengths(clFreq, kMaxCodeLenBits);
+  const Encoder clEnc(clLengths);
+
+  std::size_t hclen = kNumCodeLenSymbols;
+  while (hclen > 4 && clLengths[kCodeLenOrder[hclen - 1]] == 0) --hclen;
+  out.writeBits(static_cast<u32>(hclen - 4), 4);
+  for (std::size_t i = 0; i < hclen; ++i) out.writeBits(clLengths[kCodeLenOrder[i]], 3);
+
+  for (const auto& op : ops) {
+    clEnc.encode(out, op.symbol);
+    if (op.symbol == 16) out.writeBits(op.extra, 2);
+    if (op.symbol == 17) out.writeBits(op.extra, 3);
+    if (op.symbol == 18) out.writeBits(op.extra, 7);
+  }
+}
+
+std::vector<u8> readCompressedLengths(BitReader& in, std::size_t count) {
+  const std::size_t hclen = in.readBits(4) + 4;
+  checkFormat(hclen <= kNumCodeLenSymbols, "bad code-length count");
+  std::vector<u8> clLengths(kNumCodeLenSymbols, 0);
+  for (std::size_t i = 0; i < hclen; ++i) {
+    clLengths[kCodeLenOrder[i]] = static_cast<u8>(in.readBits(3));
+  }
+  const Decoder clDec(clLengths);
+
+  std::vector<u8> lengths;
+  lengths.reserve(count);
+  while (lengths.size() < count) {
+    const u32 sym = clDec.decode(in);
+    if (sym < 16) {
+      lengths.push_back(static_cast<u8>(sym));
+    } else if (sym == 16) {
+      checkFormat(!lengths.empty(), "repeat with no previous length");
+      const u32 rep = in.readBits(2) + 3;
+      lengths.insert(lengths.end(), rep, lengths.back());
+    } else if (sym == 17) {
+      const u32 rep = in.readBits(3) + 3;
+      lengths.insert(lengths.end(), rep, 0);
+    } else {
+      const u32 rep = in.readBits(7) + 11;
+      lengths.insert(lengths.end(), rep, 0);
+    }
+  }
+  checkFormat(lengths.size() == count, "code length overflow");
+  return lengths;
+}
+
+}  // namespace scishuffle::huffman

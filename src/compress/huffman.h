@@ -1,0 +1,60 @@
+// Canonical Huffman coding: length-limited code construction (package-merge),
+// canonical code assignment, and table-driven decoding.
+//
+// Shared by the deflate-like and bzip2-like codecs.
+#pragma once
+
+#include <vector>
+
+#include "io/bitio.h"
+#include "io/common.h"
+
+namespace scishuffle::huffman {
+
+/// Computes optimal length-limited code lengths for the given symbol
+/// frequencies using the package-merge algorithm. Symbols with zero frequency
+/// get length 0 (no code). Requires maxLength >= ceil(log2(#nonzero)).
+std::vector<u8> codeLengths(const std::vector<u64>& freqs, int maxLength);
+
+/// Assigns canonical codes (MSB-first) from code lengths.
+std::vector<u32> canonicalCodes(const std::vector<u8>& lengths);
+
+/// Encoder over a fixed code table.
+class Encoder {
+ public:
+  explicit Encoder(const std::vector<u8>& lengths);
+
+  void encode(BitWriter& out, u32 symbol) const;
+
+  const std::vector<u8>& lengths() const { return lengths_; }
+
+ private:
+  std::vector<u8> lengths_;
+  std::vector<u32> codes_;
+};
+
+/// Serializes a code-length vector compactly using the RFC-1951 code-length
+/// alphabet (literal 0..15, 16 = repeat previous 3-6, 17 = zero-run 3-10,
+/// 18 = zero-run 11-138) under its own small Huffman table. Shared between
+/// the deflate-like and bzip2-like codecs so degenerate blocks stay tiny.
+void writeCompressedLengths(BitWriter& out, const std::vector<u8>& lengths);
+
+/// Inverse of writeCompressedLengths; `count` is the expected vector size.
+std::vector<u8> readCompressedLengths(BitReader& in, std::size_t count);
+
+/// Canonical decoder using per-length first-code/first-index tables.
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<u8>& lengths);
+
+  /// Reads one symbol from the bit stream; throws FormatError on invalid code.
+  u32 decode(BitReader& in) const;
+
+ private:
+  int maxLen_ = 0;
+  std::vector<u32> firstCode_;   // indexed by length
+  std::vector<u32> firstIndex_;  // indexed by length
+  std::vector<u32> symbols_;     // canonical order
+};
+
+}  // namespace scishuffle::huffman

@@ -1,0 +1,118 @@
+#include "compress/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scishuffle::lz77 {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+u32 hash3(const u8* p) {
+  const u32 v = (static_cast<u32>(p[0]) << 16) | (static_cast<u32>(p[1]) << 8) | p[2];
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Length of the common prefix of a and b, capped at maxLen.
+int matchLength(const u8* a, const u8* b, int maxLen) {
+  int n = 0;
+  while (n < maxLen && a[n] == b[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+ParseOptions ParseOptions::forLevel(int level) {
+  check(level >= 1 && level <= 9, "compression level must be in [1,9]");
+  ParseOptions options;
+  options.lazy = level >= 4;
+  // Roughly zlib's chain-length ladder.
+  constexpr int kChains[10] = {0, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  options.max_chain_length = kChains[level];
+  return options;
+}
+
+std::vector<Token> parse(ByteSpan data, const ParseOptions& options) {
+  std::vector<Token> tokens;
+  tokens.reserve(data.size() / 4);
+  const std::size_t n = data.size();
+  const u8* p = data.data();
+
+  // head[h]: most recent position with hash h; prev[i & mask]: previous
+  // position in the chain for position i. Positions stored +1, 0 = empty.
+  std::vector<u32> head(kHashSize, 0);
+  std::vector<u32> prev(kWindowSize, 0);
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + kMinMatch > n) return;
+    const u32 h = hash3(p + pos);
+    prev[pos % kWindowSize] = head[h];
+    head[h] = static_cast<u32>(pos + 1);
+  };
+
+  auto findMatch = [&](std::size_t pos, u32& bestDist) -> int {
+    if (pos + kMinMatch > n) return 0;
+    const int maxLen = static_cast<int>(std::min<std::size_t>(kMaxMatch, n - pos));
+    int bestLen = 0;
+    u32 candidate = head[hash3(p + pos)];
+    int chain = options.max_chain_length;
+    while (candidate != 0 && chain-- > 0) {
+      const std::size_t cand = candidate - 1;
+      if (cand >= pos || pos - cand > kWindowSize) break;
+      const int len = matchLength(p + cand, p + pos, maxLen);
+      if (len > bestLen) {
+        bestLen = len;
+        bestDist = static_cast<u32>(pos - cand);
+        if (len == maxLen) break;
+      }
+      candidate = prev[cand % kWindowSize];
+    }
+    return bestLen;
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    u32 dist = 0;
+    const int len = findMatch(pos, dist);
+    if (len >= kMinMatch) {
+      // Lazy evaluation: prefer a strictly longer match starting one byte
+      // later, as deflate does, to avoid fragmenting long runs.
+      u32 nextDist = 0;
+      insert(pos);
+      int nextLen = 0;
+      if (options.lazy && pos + 1 < n) nextLen = findMatch(pos + 1, nextDist);
+      if (nextLen > len) {
+        tokens.push_back(Token{0, 0, p[pos]});
+        ++pos;
+        continue;
+      }
+      tokens.push_back(Token{static_cast<u32>(len), dist, 0});
+      // Register all covered positions so later matches can reference them.
+      for (std::size_t k = pos + 1; k < pos + static_cast<std::size_t>(len); ++k) insert(k);
+      pos += static_cast<std::size_t>(len);
+    } else {
+      insert(pos);
+      tokens.push_back(Token{0, 0, p[pos]});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+Bytes expand(const std::vector<Token>& tokens) {
+  Bytes out;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      out.push_back(t.literal);
+    } else {
+      checkFormat(t.distance <= out.size(), "LZ77 distance beyond output");
+      const std::size_t start = out.size() - t.distance;
+      for (u32 i = 0; i < t.length; ++i) out.push_back(out[start + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace scishuffle::lz77

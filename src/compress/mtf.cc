@@ -1,0 +1,135 @@
+#include "compress/mtf.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scishuffle::mtf {
+
+Bytes encode(ByteSpan data) {
+  std::vector<u8> order(256);
+  std::iota(order.begin(), order.end(), 0);
+  Bytes out;
+  out.reserve(data.size());
+  for (const u8 b : data) {
+    const auto it = std::find(order.begin(), order.end(), b);
+    const auto idx = static_cast<u8>(it - order.begin());
+    out.push_back(idx);
+    order.erase(it);
+    order.insert(order.begin(), b);
+  }
+  return out;
+}
+
+Bytes decode(ByteSpan data) {
+  std::vector<u8> order(256);
+  std::iota(order.begin(), order.end(), 0);
+  Bytes out;
+  out.reserve(data.size());
+  for (const u8 idx : data) {
+    const u8 b = order[idx];
+    out.push_back(b);
+    order.erase(order.begin() + idx);
+    order.insert(order.begin(), b);
+  }
+  return out;
+}
+
+namespace {
+/// Appends the bijective base-2 digits of `run` (RUNA = digit 1, RUNB = 2).
+void emitRun(std::vector<u32>& out, u64 run) {
+  while (run > 0) {
+    if (run & 1) {
+      out.push_back(kRunA);
+      run = (run - 1) / 2;
+    } else {
+      out.push_back(kRunB);
+      run = (run - 2) / 2;
+    }
+  }
+}
+}  // namespace
+
+std::vector<u32> zeroRunEncode(ByteSpan mtfStream) {
+  std::vector<u32> out;
+  out.reserve(mtfStream.size() / 2 + 2);
+  u64 run = 0;
+  for (const u8 v : mtfStream) {
+    if (v == 0) {
+      ++run;
+    } else {
+      emitRun(out, run);
+      run = 0;
+      out.push_back(static_cast<u32>(v) + 1);
+    }
+  }
+  emitRun(out, run);
+  out.push_back(kEob);
+  return out;
+}
+
+Bytes zeroRunDecode(const std::vector<u32>& symbols) {
+  Bytes out;
+  u64 run = 0;
+  u64 place = 1;
+  auto flushRun = [&] {
+    out.insert(out.end(), run, 0);
+    run = 0;
+    place = 1;
+  };
+  for (const u32 sym : symbols) {
+    if (sym == kRunA || sym == kRunB) {
+      run += (sym == kRunA ? 1 : 2) * place;
+      place *= 2;
+    } else if (sym == kEob) {
+      flushRun();
+      return out;
+    } else {
+      checkFormat(sym >= 2 && sym <= 256, "bad run-length symbol");
+      flushRun();
+      out.push_back(static_cast<u8>(sym - 1));
+    }
+  }
+  throw FormatError("missing end-of-block symbol");
+}
+
+Bytes rle1Encode(ByteSpan data) {
+  Bytes out;
+  out.reserve(data.size() + data.size() / 64 + 16);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const u8 b = data[i];
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == b && run < 259) ++run;
+    if (run < 4) {
+      out.insert(out.end(), run, b);
+    } else {
+      out.insert(out.end(), 4, b);
+      out.push_back(static_cast<u8>(run - 4));
+    }
+    i += run;
+  }
+  return out;
+}
+
+Bytes rle1Decode(ByteSpan data) {
+  Bytes out;
+  out.reserve(data.size());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const u8 b = data[i];
+    // Look for a literal run of four identical bytes: the next byte is then
+    // a repeat count.
+    std::size_t run = 1;
+    while (run < 4 && i + run < data.size() && data[i + run] == b) ++run;
+    out.insert(out.end(), run, b);
+    i += run;
+    if (run == 4) {
+      checkFormat(i < data.size(), "truncated RLE1 count");
+      out.insert(out.end(), data[i], b);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace scishuffle::mtf

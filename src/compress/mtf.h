@@ -1,0 +1,39 @@
+// Move-to-front coding and bzip2-style zero-run-length symbol mapping.
+#pragma once
+
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::mtf {
+
+/// Move-to-front encode (byte alphabet).
+Bytes encode(ByteSpan data);
+
+/// Inverse of encode.
+Bytes decode(ByteSpan data);
+
+/// Symbols of the post-MTF zero-run alphabet:
+///   kRunA / kRunB  — bijective base-2 digits (1 and 2) of a zero-run length
+///   2..256         — MTF value v in [1,255] maps to symbol v + 1
+///   kEob           — end of block
+constexpr u32 kRunA = 0;
+constexpr u32 kRunB = 1;
+constexpr u32 kEob = 257;
+constexpr std::size_t kAlphabetSize = 258;
+
+/// Encodes an MTF byte stream into the run-length symbol alphabet
+/// (terminated by kEob).
+std::vector<u32> zeroRunEncode(ByteSpan mtfStream);
+
+/// Inverse of zeroRunEncode; consumes symbols up to and including kEob.
+Bytes zeroRunDecode(const std::vector<u32>& symbols);
+
+/// bzip2's initial run-length pass (RLE1), applied *before* the BWT: any run
+/// of 4..259 identical bytes becomes the 4 bytes plus a count byte. Its job
+/// is to bound the BWT's worst case on highly repetitive blocks, not to
+/// compress.
+Bytes rle1Encode(ByteSpan data);
+Bytes rle1Decode(ByteSpan data);
+
+}  // namespace scishuffle::mtf

@@ -1,0 +1,115 @@
+#include "dfs/mini_dfs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scishuffle::dfs {
+
+MiniDfs::MiniDfs(DfsConfig config) : config_(config) {
+  check(config_.block_size >= 1, "block size must be positive");
+  check(config_.nodes >= 1, "need at least one node");
+  check(config_.replication >= 1, "replication must be positive");
+  // HDFS clamps replication to the cluster size; so do we.
+  config_.replication = std::min(config_.replication, config_.nodes);
+}
+
+void MiniDfs::writeFile(const std::string& path, ByteSpan data, int writerNode) {
+  check(writerNode >= 0 && writerNode < config_.nodes, "writer node out of range");
+  if (files_.find(path) != files_.end()) {
+    throw std::logic_error("file already exists: " + path);
+  }
+
+  File file;
+  file.size = data.size();
+  for (u64 offset = 0; offset < data.size() || (data.empty() && offset == 0);
+       offset += config_.block_size) {
+    const u64 length = std::min<u64>(config_.block_size, data.size() - offset);
+    StoredBlock block;
+    block.info.offset = offset;
+    block.info.length = length;
+    block.data.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                      data.begin() + static_cast<std::ptrdiff_t>(offset + length));
+    // First replica local to the writer; the rest rotate across other nodes.
+    block.info.replicas.push_back(writerNode);
+    while (static_cast<int>(block.info.replicas.size()) < config_.replication) {
+      const int candidate = nextPlacement_++ % config_.nodes;
+      if (std::find(block.info.replicas.begin(), block.info.replicas.end(), candidate) ==
+          block.info.replicas.end()) {
+        block.info.replicas.push_back(candidate);
+      }
+    }
+    file.blocks.push_back(std::move(block));
+    if (data.empty()) break;
+  }
+  files_.emplace(path, std::move(file));
+}
+
+const MiniDfs::File& MiniDfs::fileOrThrow(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw std::out_of_range("no such file: " + path);
+  return it->second;
+}
+
+Bytes MiniDfs::readFile(const std::string& path) const {
+  const File& file = fileOrThrow(path);
+  Bytes out;
+  out.reserve(file.size);
+  for (const auto& block : file.blocks) {
+    out.insert(out.end(), block.data.begin(), block.data.end());
+  }
+  return out;
+}
+
+Bytes MiniDfs::readBlock(const std::string& path, std::size_t blockIndex, int readerNode,
+                         int* chosenNode) const {
+  const File& file = fileOrThrow(path);
+  check(blockIndex < file.blocks.size(), "block index out of range");
+  const StoredBlock& block = file.blocks[blockIndex];
+  int node = block.info.replicas.front();
+  for (const int replica : block.info.replicas) {
+    if (replica == readerNode) {
+      node = replica;
+      break;
+    }
+  }
+  if (chosenNode != nullptr) *chosenNode = node;
+  return block.data;
+}
+
+bool MiniDfs::exists(const std::string& path) const { return files_.count(path) > 0; }
+
+void MiniDfs::remove(const std::string& path) {
+  if (files_.erase(path) == 0) throw std::out_of_range("no such file: " + path);
+}
+
+std::vector<std::string> MiniDfs::listFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+u64 MiniDfs::fileSize(const std::string& path) const { return fileOrThrow(path).size; }
+
+std::vector<BlockInfo> MiniDfs::locate(const std::string& path) const {
+  const File& file = fileOrThrow(path);
+  std::vector<BlockInfo> out;
+  out.reserve(file.blocks.size());
+  for (const auto& block : file.blocks) out.push_back(block.info);
+  return out;
+}
+
+u64 MiniDfs::bytesOnNode(int node) const {
+  u64 total = 0;
+  for (const auto& [path, file] : files_) {
+    for (const auto& block : file.blocks) {
+      if (std::find(block.info.replicas.begin(), block.info.replicas.end(), node) !=
+          block.info.replicas.end()) {
+        total += block.info.length;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace scishuffle::dfs

@@ -1,0 +1,82 @@
+// MiniDfs: an HDFS-shaped block store. Files are split into fixed-size
+// blocks, each replicated across distinct nodes; readers locate replicas and
+// prefer a local one. Steps 1 and 7 of the paper's Fig. 1 ("Mappers read the
+// input from HDFS" / "Output is written back to HDFS") run against this, and
+// block locations drive locality-aware map scheduling in the event
+// simulator (see cluster/simulator.h).
+//
+// Data lives in memory — the simulation needs placement metadata and byte
+// counts, not spinning rust — but the API mirrors the real thing: create/
+// read/delete, block-level locate, per-node usage.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::dfs {
+
+struct DfsConfig {
+  u64 block_size = 8u << 20;
+  int replication = 3;
+  int nodes = 5;
+};
+
+/// One block of a file: its extent within the file and the nodes holding it.
+struct BlockInfo {
+  u64 offset = 0;
+  u64 length = 0;
+  std::vector<int> replicas;
+};
+
+class MiniDfs {
+ public:
+  explicit MiniDfs(DfsConfig config);
+
+  /// Writes a file, placing the first replica of every block on writerNode
+  /// (HDFS's write-local policy) and the rest on successive distinct nodes.
+  /// Overwriting an existing path is an error (HDFS semantics).
+  void writeFile(const std::string& path, ByteSpan data, int writerNode = 0);
+
+  /// Whole-file read (replica choice immaterial for correctness).
+  Bytes readFile(const std::string& path) const;
+
+  /// Reads one block, preferring a replica on readerNode; returns the node
+  /// actually read from via chosenNode (for locality accounting).
+  Bytes readBlock(const std::string& path, std::size_t blockIndex, int readerNode,
+                  int* chosenNode = nullptr) const;
+
+  bool exists(const std::string& path) const;
+  void remove(const std::string& path);
+  std::vector<std::string> listFiles() const;
+  u64 fileSize(const std::string& path) const;
+
+  /// Placement metadata (the NameNode's getBlockLocations).
+  std::vector<BlockInfo> locate(const std::string& path) const;
+
+  /// Bytes stored on a node across all replicas.
+  u64 bytesOnNode(int node) const;
+
+  const DfsConfig& config() const { return config_; }
+
+ private:
+  struct StoredBlock {
+    Bytes data;
+    BlockInfo info;
+  };
+  struct File {
+    std::vector<StoredBlock> blocks;
+    u64 size = 0;
+  };
+
+  const File& fileOrThrow(const std::string& path) const;
+
+  DfsConfig config_;
+  std::map<std::string, File> files_;
+  int nextPlacement_ = 0;  // rotates non-writer replicas across nodes
+};
+
+}  // namespace scishuffle::dfs

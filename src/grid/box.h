@@ -1,0 +1,89 @@
+// Axis-aligned N-dimensional boxes in (corner, size) form — the aggregate-key
+// geometry of §IV. Key splitting (routing splits and Fig. 7 overlap splits)
+// is box algebra: intersection, fragmentation along cut planes, and
+// disjoint-cover decomposition.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/shape.h"
+
+namespace scishuffle::grid {
+
+class Box {
+ public:
+  Box() = default;
+  Box(Coord corner, std::vector<i64> size);
+
+  /// The box covering [corner, corner+size) in every dimension.
+  static Box fromExtents(const Coord& low, const Coord& highExclusive);
+
+  /// Unit box containing a single cell.
+  static Box cell(const Coord& c);
+
+  int rank() const { return static_cast<int>(corner_.size()); }
+  const Coord& corner() const { return corner_; }
+  const std::vector<i64>& size() const { return size_; }
+  i64 low(int d) const { return corner_[static_cast<std::size_t>(d)]; }
+  i64 high(int d) const {
+    return corner_[static_cast<std::size_t>(d)] + size_[static_cast<std::size_t>(d)];
+  }
+
+  i64 volume() const;
+  bool empty() const { return volume() == 0; }
+
+  bool contains(const Coord& c) const;
+  bool containsBox(const Box& other) const;
+  bool intersects(const Box& other) const;
+
+  /// Intersection; nullopt when disjoint (empty boxes count as disjoint).
+  std::optional<Box> intersection(const Box& other) const;
+
+  /// Splits into (cells with coordinate[axis] < pos, the rest). Either part
+  /// may be empty if pos is outside the box.
+  std::pair<Box, Box> splitAt(int axis, i64 pos) const;
+
+  /// Fragments this box along every face plane of `cutter` (Fig. 7): returns
+  /// disjoint boxes covering exactly this box, each either fully inside or
+  /// fully outside `cutter`. Returns {*this} when disjoint from cutter.
+  std::vector<Box> cutBy(const Box& cutter) const;
+
+  /// Smallest aligned box containing this one: each face moved outward to a
+  /// multiple of `alignment` (§IV-C key expansion).
+  Box expandToAlignment(i64 alignment) const;
+
+  /// Row-major walk over all cells; f(coord) per cell.
+  template <typename F>
+  void forEachCell(F&& f) const {
+    if (empty()) return;
+    Coord c = corner_;
+    const i64 cells = volume();
+    for (i64 i = 0; i < cells; ++i) {
+      f(static_cast<const Coord&>(c));
+      for (int d = rank() - 1; d >= 0; --d) {
+        auto& x = c[static_cast<std::size_t>(d)];
+        if (++x < high(d)) break;
+        x = low(d);
+      }
+    }
+  }
+
+  bool operator==(const Box&) const = default;
+
+  std::string toString() const;
+
+ private:
+  Coord corner_;
+  std::vector<i64> size_;
+};
+
+/// Decomposes a set of (possibly overlapping) boxes into disjoint fragments
+/// whose union equals the union of the inputs, splitting only at input box
+/// boundaries. Equal input boxes produce one shared fragment. Returns
+/// (fragment, index of the input box that contributed it) pairs; a fragment
+/// covered by k inputs appears k times with different input indices.
+std::vector<std::pair<Box, std::size_t>> decomposeOverlaps(const std::vector<Box>& boxes);
+
+}  // namespace scishuffle::grid

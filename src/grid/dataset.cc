@@ -1,0 +1,185 @@
+#include "grid/dataset.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <stdexcept>
+
+#include "io/primitives.h"
+#include "io/streams.h"
+
+namespace scishuffle::grid {
+
+std::size_t dataTypeSize(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFloat64:
+      return 8;
+  }
+  throw std::logic_error("unreachable data type");
+}
+
+std::string dataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFloat64:
+      return "float64";
+  }
+  throw std::logic_error("unreachable data type");
+}
+
+Variable::Variable(std::string name, DataType type, Shape shape)
+    : name_(std::move(name)), type_(type), shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_.volume()) * dataTypeSize(type_), 0);
+}
+
+std::size_t Variable::byteOffset(const Coord& c) const {
+  return static_cast<std::size_t>(shape_.linearize(c)) * dataTypeSize(type_);
+}
+
+namespace {
+template <typename T>
+T loadNative(const Bytes& data, std::size_t offset) {
+  T v;
+  std::memcpy(&v, data.data() + offset, sizeof(T));
+  return v;
+}
+template <typename T>
+void storeNative(Bytes& data, std::size_t offset, T v) {
+  std::memcpy(data.data() + offset, &v, sizeof(T));
+}
+}  // namespace
+
+i32 Variable::int32At(const Coord& c) const {
+  check(type_ == DataType::kInt32, "type mismatch");
+  return loadNative<i32>(data_, byteOffset(c));
+}
+
+float Variable::float32At(const Coord& c) const {
+  check(type_ == DataType::kFloat32, "type mismatch");
+  return loadNative<float>(data_, byteOffset(c));
+}
+
+double Variable::float64At(const Coord& c) const {
+  check(type_ == DataType::kFloat64, "type mismatch");
+  return loadNative<double>(data_, byteOffset(c));
+}
+
+void Variable::setInt32(const Coord& c, i32 v) {
+  check(type_ == DataType::kInt32, "type mismatch");
+  storeNative(data_, byteOffset(c), v);
+}
+
+void Variable::setFloat32(const Coord& c, float v) {
+  check(type_ == DataType::kFloat32, "type mismatch");
+  storeNative(data_, byteOffset(c), v);
+}
+
+void Variable::setFloat64(const Coord& c, double v) {
+  check(type_ == DataType::kFloat64, "type mismatch");
+  storeNative(data_, byteOffset(c), v);
+}
+
+Bytes Variable::serializedValueAt(const Coord& c) const {
+  Bytes out;
+  MemorySink sink(out);
+  switch (type_) {
+    case DataType::kInt32:
+      writeI32(sink, int32At(c));
+      break;
+    case DataType::kFloat32:
+      writeF32(sink, float32At(c));
+      break;
+    case DataType::kFloat64:
+      writeF64(sink, float64At(c));
+      break;
+  }
+  return out;
+}
+
+Variable& Dataset::addVariable(std::string name, DataType type, Shape shape) {
+  check(!hasVariable(name), "duplicate variable name");
+  variables_.push_back(std::make_unique<Variable>(std::move(name), type, std::move(shape)));
+  return *variables_.back();
+}
+
+const Variable& Dataset::variable(const std::string& name) const {
+  for (const auto& v : variables_) {
+    if (v->name() == name) return *v;
+  }
+  throw std::out_of_range("no such variable: " + name);
+}
+
+Variable& Dataset::variable(const std::string& name) {
+  for (auto& v : variables_) {
+    if (v->name() == name) return *v;
+  }
+  throw std::out_of_range("no such variable: " + name);
+}
+
+bool Dataset::hasVariable(const std::string& name) const {
+  for (const auto& v : variables_) {
+    if (v->name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Dataset::variableNames() const {
+  std::vector<std::string> out;
+  out.reserve(variables_.size());
+  for (const auto& v : variables_) out.push_back(v->name());
+  return out;
+}
+
+int Dataset::variableIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i]->name() == name) return static_cast<int>(i);
+  }
+  throw std::out_of_range("no such variable: " + name);
+}
+
+namespace gen {
+
+void fillLinear(Variable& v) {
+  check(v.type() == DataType::kInt32, "fillLinear needs int32");
+  const Box domain(Coord(static_cast<std::size_t>(v.shape().rank()), 0), v.shape().dims());
+  domain.forEachCell([&](const Coord& c) {
+    v.setInt32(c, static_cast<i32>(v.shape().linearize(c) & 0x7FFFFFFF));
+  });
+}
+
+void fillWindspeed(Variable& v, u32 seed) {
+  check(v.type() == DataType::kFloat32, "fillWindspeed needs float32");
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> phase(0.0f, 6.28f);
+  std::vector<float> phases(static_cast<std::size_t>(v.shape().rank()));
+  for (auto& p : phases) p = phase(rng);
+  const Box domain(Coord(static_cast<std::size_t>(v.shape().rank()), 0), v.shape().dims());
+  domain.forEachCell([&](const Coord& c) {
+    float value = 10.0f;
+    for (int d = 0; d < v.shape().rank(); ++d) {
+      value += 3.0f * std::sin(0.07f * static_cast<float>(c[static_cast<std::size_t>(d)]) +
+                               phases[static_cast<std::size_t>(d)]);
+    }
+    v.setFloat32(c, value);
+  });
+}
+
+void fillRandomInt(Variable& v, u32 seed, i32 limit) {
+  check(v.type() == DataType::kInt32, "fillRandomInt needs int32");
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<i32> dist(0, limit - 1);
+  const Box domain(Coord(static_cast<std::size_t>(v.shape().rank()), 0), v.shape().dims());
+  domain.forEachCell([&](const Coord& c) { v.setInt32(c, dist(rng)); });
+}
+
+}  // namespace gen
+
+}  // namespace scishuffle::grid

@@ -1,0 +1,93 @@
+// In-memory NetCDF-like dataset model: named, typed variables over N-dim
+// shapes, plus deterministic synthetic generators standing in for the
+// paper's scientific inputs (windspeed fields etc.). SciHadoop reads NetCDF;
+// we substitute this model per DESIGN.md §2 — only the key structure matters
+// to the experiments, and it is identical.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/shape.h"
+
+namespace scishuffle::grid {
+
+enum class DataType { kInt32, kFloat32, kFloat64 };
+
+std::size_t dataTypeSize(DataType t);
+std::string dataTypeName(DataType t);
+
+/// A single variable: metadata plus a row-major value array.
+class Variable {
+ public:
+  Variable(std::string name, DataType type, Shape shape);
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  const Shape& shape() const { return shape_; }
+
+  /// Raw row-major storage (shape.volume() * dataTypeSize bytes).
+  const Bytes& raw() const { return data_; }
+  Bytes& raw() { return data_; }
+
+  i32 int32At(const Coord& c) const;
+  float float32At(const Coord& c) const;
+  double float64At(const Coord& c) const;
+
+  void setInt32(const Coord& c, i32 v);
+  void setFloat32(const Coord& c, float v);
+  void setFloat64(const Coord& c, double v);
+
+  /// Value at c serialized big-endian (the Writable encoding of the value).
+  Bytes serializedValueAt(const Coord& c) const;
+
+ private:
+  std::size_t byteOffset(const Coord& c) const;
+
+  std::string name_;
+  DataType type_;
+  Shape shape_;
+  Bytes data_;
+};
+
+/// A collection of variables (a "file" in NetCDF terms).
+class Dataset {
+ public:
+  /// Adds a variable; the returned reference stays valid for the dataset's
+  /// lifetime (variables are heap-allocated, so later additions never move
+  /// earlier ones).
+  Variable& addVariable(std::string name, DataType type, Shape shape);
+
+  const Variable& variable(const std::string& name) const;
+  Variable& variable(const std::string& name);
+  bool hasVariable(const std::string& name) const;
+
+  std::vector<std::string> variableNames() const;
+  int variableIndex(const std::string& name) const;
+
+ private:
+  // Insertion order defines the variable index; unique_ptr keeps references
+  // returned by addVariable stable across later additions.
+  std::vector<std::unique_ptr<Variable>> variables_;
+};
+
+/// Deterministic synthetic field generators.
+namespace gen {
+
+/// Int32 ramp: value = row-major linear offset (mod 2^31), like the paper's
+/// "grid of integers".
+void fillLinear(Variable& v);
+
+/// Float32 pseudo-windspeed: smooth spatially-correlated values.
+void fillWindspeed(Variable& v, u32 seed);
+
+/// Uniform random int32 in [0, limit).
+void fillRandomInt(Variable& v, u32 seed, i32 limit);
+
+}  // namespace gen
+
+}  // namespace scishuffle::grid

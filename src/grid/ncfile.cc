@@ -1,0 +1,99 @@
+#include "grid/ncfile.h"
+
+#include <cstring>
+
+#include "io/crc32.h"
+#include "io/primitives.h"
+#include "io/varint.h"
+
+namespace scishuffle::grid {
+
+namespace {
+
+constexpr char kMagic[5] = {'S', 'Z', 'N', 'C', '1'};
+constexpr u16 kVersion = 1;
+
+u8 dtypeTag(DataType t) {
+  switch (t) {
+    case DataType::kInt32:
+      return 0;
+    case DataType::kFloat32:
+      return 1;
+    case DataType::kFloat64:
+      return 2;
+  }
+  throw std::logic_error("unreachable data type");
+}
+
+DataType dtypeFromTag(u8 tag) {
+  switch (tag) {
+    case 0:
+      return DataType::kInt32;
+    case 1:
+      return DataType::kFloat32;
+    case 2:
+      return DataType::kFloat64;
+    default:
+      throw FormatError("unknown dtype tag");
+  }
+}
+
+}  // namespace
+
+void writeDataset(ByteSink& sink, const Dataset& dataset) {
+  sink.write(ByteSpan(reinterpret_cast<const u8*>(kMagic), sizeof kMagic));
+  writeU16(sink, kVersion);
+  const auto names = dataset.variableNames();
+  writeVInt(sink, static_cast<i32>(names.size()));
+  for (const auto& name : names) {
+    const Variable& v = dataset.variable(name);
+    writeText(sink, v.name());
+    writeU8(sink, dtypeTag(v.type()));
+    writeVInt(sink, v.shape().rank());
+    for (const i64 d : v.shape().dims()) writeVLong(sink, d);
+    writeU64(sink, v.raw().size());
+    sink.write(v.raw());
+    writeU32(sink, crc32(v.raw()));
+  }
+  sink.flush();
+}
+
+Dataset readDataset(ByteSource& source) {
+  char magic[5];
+  source.readExact(MutableByteSpan(reinterpret_cast<u8*>(magic), sizeof magic));
+  checkFormat(std::memcmp(magic, kMagic, sizeof kMagic) == 0, "bad dataset magic");
+  checkFormat(readU16(source) == kVersion, "unsupported dataset version");
+
+  Dataset dataset;
+  const i32 numVars = readVInt(source);
+  checkFormat(numVars >= 0, "negative variable count");
+  for (i32 i = 0; i < numVars; ++i) {
+    const std::string name = readText(source);
+    const DataType type = dtypeFromTag(readU8(source));
+    const i32 rank = readVInt(source);
+    checkFormat(rank >= 0 && rank <= 16, "implausible rank");
+    std::vector<i64> dims(static_cast<std::size_t>(rank));
+    for (auto& d : dims) {
+      d = readVLong(source);
+      checkFormat(d >= 0, "negative dimension");
+    }
+    Variable& v = dataset.addVariable(name, type, Shape(std::move(dims)));
+    const u64 payloadLen = readU64(source);
+    checkFormat(payloadLen == v.raw().size(), "payload length mismatch");
+    source.readExact(MutableByteSpan(v.raw().data(), v.raw().size()));
+    checkFormat(readU32(source) == crc32(v.raw()), "payload CRC mismatch");
+  }
+  return dataset;
+}
+
+void saveDataset(const std::filesystem::path& path, const Dataset& dataset) {
+  FileSink sink(path);
+  writeDataset(sink, dataset);
+}
+
+Dataset loadDataset(const std::filesystem::path& path) {
+  FileSource source(path);
+  return readDataset(source);
+}
+
+}  // namespace scishuffle::grid

@@ -1,0 +1,25 @@
+// A simple binary dataset container ("nc" for NetCDF-shaped): header with
+// variable metadata, then each variable's raw row-major payload guarded by a
+// CRC. SciHadoop reads NetCDF; this is our stand-in on-disk format so
+// examples and jobs can persist/reload the synthetic datasets (DESIGN.md §2).
+//
+// Layout:
+//   magic "SZNC1" | u16 version | vint #vars
+//   per var: Text name | u8 dtype | vint rank | vint dims... |
+//            u64 payload length | payload | u32 crc(payload)
+#pragma once
+
+#include <filesystem>
+
+#include "grid/dataset.h"
+#include "io/streams.h"
+
+namespace scishuffle::grid {
+
+void writeDataset(ByteSink& sink, const Dataset& dataset);
+Dataset readDataset(ByteSource& source);
+
+void saveDataset(const std::filesystem::path& path, const Dataset& dataset);
+Dataset loadDataset(const std::filesystem::path& path);
+
+}  // namespace scishuffle::grid

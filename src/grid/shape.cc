@@ -1,0 +1,70 @@
+#include "grid/shape.h"
+
+#include <sstream>
+
+namespace scishuffle::grid {
+
+Shape::Shape(std::vector<i64> dims) : dims_(std::move(dims)) {
+  for (const i64 d : dims_) check(d >= 0, "negative shape extent");
+}
+
+i64 Shape::volume() const {
+  i64 v = 1;
+  for (const i64 d : dims_) v *= d;
+  return v;
+}
+
+std::vector<i64> Shape::rowMajorStrides() const {
+  std::vector<i64> strides(dims_.size(), 1);
+  for (int d = rank() - 2; d >= 0; --d) {
+    strides[static_cast<std::size_t>(d)] =
+        strides[static_cast<std::size_t>(d) + 1] * dims_[static_cast<std::size_t>(d) + 1];
+  }
+  return strides;
+}
+
+i64 Shape::linearize(const Coord& c) const {
+  check(static_cast<int>(c.size()) == rank(), "coordinate rank mismatch");
+  i64 offset = 0;
+  for (int d = 0; d < rank(); ++d) {
+    const i64 x = c[static_cast<std::size_t>(d)];
+    check(x >= 0 && x < dims_[static_cast<std::size_t>(d)], "coordinate out of bounds");
+    offset = offset * dims_[static_cast<std::size_t>(d)] + x;
+  }
+  return offset;
+}
+
+Coord Shape::delinearize(i64 offset) const {
+  check(offset >= 0 && offset < volume(), "offset out of bounds");
+  Coord c(dims_.size(), 0);
+  for (int d = rank() - 1; d >= 0; --d) {
+    const i64 extent = dims_[static_cast<std::size_t>(d)];
+    c[static_cast<std::size_t>(d)] = offset % extent;
+    offset /= extent;
+  }
+  return c;
+}
+
+std::string Shape::toString() const { return coordToString(dims_); }
+
+std::string coordToString(const Coord& c) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i > 0) os << ",";
+    os << c[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+int compareCoords(const Coord& a, const Coord& b) {
+  check(a.size() == b.size(), "coordinate rank mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace scishuffle::grid

@@ -1,0 +1,52 @@
+// N-dimensional coordinates and shapes for the grid data model.
+//
+// Coordinates are signed 64-bit: sliding-window queries legitimately produce
+// negative coordinates (§IV-C: a mapper over (0,0)-(9,9) emits into
+// (-1,-1)-(10,10)), and key arithmetic must not wrap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::grid {
+
+using Coord = std::vector<i64>;
+
+/// Extent per dimension; all extents non-negative.
+class Shape {
+ public:
+  Shape() = default;
+  explicit Shape(std::vector<i64> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  i64 dim(int d) const { return dims_[static_cast<std::size_t>(d)]; }
+  const std::vector<i64>& dims() const { return dims_; }
+
+  /// Total number of cells.
+  i64 volume() const;
+
+  /// Row-major strides (last dimension stride 1).
+  std::vector<i64> rowMajorStrides() const;
+
+  /// Row-major linear offset of a coordinate relative to the origin.
+  i64 linearize(const Coord& c) const;
+
+  /// Inverse of linearize.
+  Coord delinearize(i64 offset) const;
+
+  bool operator==(const Shape&) const = default;
+
+  std::string toString() const;
+
+ private:
+  std::vector<i64> dims_;
+};
+
+std::string coordToString(const Coord& c);
+
+/// Lexicographic (row-major) comparison of equal-rank coordinates.
+int compareCoords(const Coord& a, const Coord& b);
+
+}  // namespace scishuffle::grid

@@ -1,0 +1,61 @@
+// Thread-safe named counters, mirroring Hadoop's job counters. The paper's
+// headline metric is the "Map output materialized bytes" counter; we keep
+// the same name.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::hadoop {
+
+/// Canonical counter names (Hadoop's spelling where one exists).
+namespace counter {
+inline constexpr const char* kMapInputRecords = "MAP_INPUT_RECORDS";
+inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
+inline constexpr const char* kMapOutputBytes = "MAP_OUTPUT_BYTES";
+inline constexpr const char* kMapOutputMaterializedBytes = "MAP_OUTPUT_MATERIALIZED_BYTES";
+inline constexpr const char* kSpilledRecords = "SPILLED_RECORDS";
+inline constexpr const char* kCombineInputRecords = "COMBINE_INPUT_RECORDS";
+inline constexpr const char* kCombineOutputRecords = "COMBINE_OUTPUT_RECORDS";
+inline constexpr const char* kReduceShuffleBytes = "REDUCE_SHUFFLE_BYTES";
+inline constexpr const char* kReduceMergePasses = "REDUCE_MERGE_PASSES";
+inline constexpr const char* kReduceMergeMaterializedBytes = "REDUCE_MERGE_MATERIALIZED_BYTES";
+inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
+inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
+inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
+inline constexpr const char* kKeySplitsRouting = "KEY_SPLITS_ROUTING";
+inline constexpr const char* kKeySplitsOverlap = "KEY_SPLITS_OVERLAP";
+inline constexpr const char* kAggregateFlushes = "AGGREGATE_FLUSHES";
+// CPU accounting for the cluster cost model (microseconds).
+inline constexpr const char* kMapCpuUs = "MAP_CPU_US";
+inline constexpr const char* kCodecCompressCpuUs = "CODEC_COMPRESS_CPU_US";
+inline constexpr const char* kCodecDecompressCpuUs = "CODEC_DECOMPRESS_CPU_US";
+inline constexpr const char* kSortCpuUs = "SORT_CPU_US";
+inline constexpr const char* kReduceCpuUs = "REDUCE_CPU_US";
+}  // namespace counter
+
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters& other);
+  Counters& operator=(const Counters& other);
+
+  void add(const std::string& name, u64 delta);
+  u64 get(const std::string& name) const;
+
+  /// Adds every counter from `other` into this.
+  void merge(const Counters& other);
+
+  std::map<std::string, u64> snapshot() const;
+  std::string toString() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, u64> values_;
+};
+
+}  // namespace scishuffle::hadoop

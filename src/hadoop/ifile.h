@@ -1,0 +1,69 @@
+// IFile: Hadoop's intermediate file format, reproduced byte-for-byte in
+// structure. Every record pays
+//     vint(keyLen) + vint(valueLen) + key + value
+// and the stream ends with the (-1, -1) end marker plus a 4-byte checksum.
+// This per-record framing is exactly the "file overhead" bar of Fig. 8 and
+// part of the 26-bytes-per-record arithmetic of §I (see DESIGN.md §3).
+//
+// The record stream (marker included) is passed through the job's
+// intermediate codec as a whole, as Hadoop does when
+// mapreduce.map.output.compress is set.
+#pragma once
+
+#include <memory>
+
+#include "compress/codec.h"
+#include "hadoop/types.h"
+
+namespace scishuffle::hadoop {
+
+/// Serialized-size helper: framing cost of one record.
+std::size_t ifileRecordOverhead(std::size_t keyLen, std::size_t valueLen);
+
+/// Size of the end-of-file marker plus checksum.
+constexpr std::size_t kIFileTrailerSize = 2 + 4;
+
+class IFileWriter {
+ public:
+  /// codec may be nullptr for an uncompressed stream.
+  explicit IFileWriter(const Codec* codec) : codec_(codec) {}
+
+  void append(ByteSpan key, ByteSpan value);
+
+  /// Finalizes the stream; no appends afterwards. Returns the materialized
+  /// file bytes (compressed payload + CRC trailer).
+  Bytes close();
+
+  u64 rawBytes() const { return static_cast<u64>(payload_.size()); }
+  u64 records() const { return records_; }
+
+  /// CPU time spent inside the codec during close(), for the cost model.
+  u64 compressCpuUs() const { return compressCpuUs_; }
+
+ private:
+  const Codec* codec_;
+  Bytes payload_;
+  u64 records_ = 0;
+  u64 compressCpuUs_ = 0;
+  bool closed_ = false;
+};
+
+class IFileReader {
+ public:
+  /// Decompresses and validates the file eagerly; throws FormatError on a
+  /// bad checksum or malformed framing.
+  IFileReader(ByteSpan file, const Codec* codec);
+
+  /// Next record, or nullopt at the end marker.
+  std::optional<KeyValue> next();
+
+  u64 decompressCpuUs() const { return decompressCpuUs_; }
+
+ private:
+  Bytes payload_;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+  u64 decompressCpuUs_ = 0;
+};
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,61 @@
+// Job configuration: the knobs the paper's experiments turn.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "hadoop/types.h"
+
+namespace scishuffle::hadoop {
+
+struct JobConfig {
+  /// Number of reduce tasks ("5 reducers" in §III-E / §IV-D).
+  int num_reducers = 1;
+
+  /// Concurrent map tasks ("10 map slots").
+  int map_slots = 2;
+
+  /// Concurrent reduce tasks.
+  int reduce_slots = 2;
+
+  /// Intermediate (map output) codec name from the CodecRegistry: "null",
+  /// "gzipish", "bzip2ish", "transform+gzipish", "transform+bzip2ish".
+  std::string intermediate_codec = "null";
+
+  /// Map-side sort buffer: a spill is triggered when buffered key+value
+  /// bytes exceed this.
+  std::size_t spill_buffer_bytes = 16u << 20;
+
+  /// Maximum segments merged per pass on the reduce side; more segments
+  /// cause extra on-disk merge passes (step 5 of the paper's data flow).
+  int merge_factor = 10;
+
+  /// When set, map-side spill segments are written to real files under this
+  /// directory (Fig. 1 step 2's "write the output to disk") instead of being
+  /// held in memory; results are identical, only the medium changes. The
+  /// directory must exist.
+  std::filesystem::path spill_dir;
+
+  /// Attempts per task before the job fails (Hadoop's
+  /// mapreduce.map/reduce.maxattempts; its fault tolerance is the paper's
+  /// stated reason for wanting HPC codes on Hadoop at all). Each retry
+  /// re-executes the task from scratch with fresh output state.
+  int max_task_attempts = 1;
+
+  /// Key order for sort/merge. Default: lexicographic on serialized bytes.
+  KeyLessFn key_less = lexicographicLess;
+
+  /// Routing hook; default hash partitioning. SciHadoop installs a
+  /// grid-aware router that splits aggregate keys at partition boundaries.
+  RouteFn router = hashRouter();
+
+  /// Optional combiner, applied to each sorted spill (and to the final merge
+  /// when a map task spilled more than once).
+  ReduceFn combiner;
+
+  /// Reduce-side grouping strategy; default groups byte-equal keys.
+  std::shared_ptr<ReduceGrouper> grouper = std::make_shared<DefaultGrouper>();
+};
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,71 @@
+#include "hadoop/merge.h"
+
+#include <algorithm>
+
+namespace scishuffle::hadoop {
+
+MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Codec* codec,
+                                         const JobConfig& config, Counters& counters)
+    : config_(&config) {
+  // Multi-pass merging: while too many segments, merge the smallest
+  // merge_factor of them into one re-materialized segment.
+  while (static_cast<int>(segments.size()) > config.merge_factor) {
+    counters.add(counter::kReduceMergePasses, 1);
+    reduceSegmentCount(segments, codec, counters);
+  }
+
+  for (Bytes& segment : segments) {
+    Head head;
+    head.reader = std::make_unique<IFileReader>(segment, codec);
+    counters.add(counter::kCodecDecompressCpuUs, head.reader->decompressCpuUs());
+    if (auto kv = head.reader->next()) {
+      head.kv = std::move(*kv);
+      heads_.push_back(std::move(head));
+    }
+  }
+}
+
+void MergedSegmentStream::reduceSegmentCount(std::vector<Bytes>& segments, const Codec* codec,
+                                             Counters& counters) {
+  // Pick the merge_factor smallest segments (Hadoop merges small ones first).
+  std::stable_sort(segments.begin(), segments.end(),
+                   [](const Bytes& a, const Bytes& b) { return a.size() < b.size(); });
+  const std::size_t take = std::min<std::size_t>(static_cast<std::size_t>(config_->merge_factor),
+                                                 segments.size());
+
+  std::vector<KeyValue> all;
+  for (std::size_t i = 0; i < take; ++i) {
+    IFileReader reader(segments[i], codec);
+    counters.add(counter::kCodecDecompressCpuUs, reader.decompressCpuUs());
+    while (auto kv = reader.next()) all.push_back(std::move(*kv));
+  }
+  std::stable_sort(all.begin(), all.end(), [&](const KeyValue& a, const KeyValue& b) {
+    return config_->key_less(a.key, b.key);
+  });
+
+  IFileWriter writer(codec);
+  for (const KeyValue& kv : all) writer.append(kv.key, kv.value);
+  Bytes merged = writer.close();
+  counters.add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+  counters.add(counter::kReduceMergeMaterializedBytes, merged.size());
+
+  segments.erase(segments.begin(), segments.begin() + static_cast<std::ptrdiff_t>(take));
+  segments.push_back(std::move(merged));
+}
+
+std::optional<KeyValue> MergedSegmentStream::next() {
+  if (heads_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < heads_.size(); ++i) {
+    if (config_->key_less(heads_[i].kv.key, heads_[best].kv.key)) best = i;
+  }
+  KeyValue out = std::move(heads_[best].kv);
+  if (auto kv = heads_[best].reader->next()) {
+    heads_[best].kv = std::move(*kv);
+  } else {
+    heads_.erase(heads_.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return out;
+}
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,39 @@
+// Reduce-side merge: k-way merge of the IFile segments fetched from every
+// mapper, with multi-pass "on-disk" merging when the segment count exceeds
+// the merge factor (step 5 of Fig. 1: "possibly requiring multiple on-disk
+// sort phases"). Intermediate passes re-materialize IFiles through the codec
+// so their byte and CPU costs are accounted.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/codec.h"
+#include "hadoop/counters.h"
+#include "hadoop/ifile.h"
+#include "hadoop/job.h"
+
+namespace scishuffle::hadoop {
+
+/// KVStream over a merged set of sorted IFile segments.
+class MergedSegmentStream final : public KVStream {
+ public:
+  MergedSegmentStream(std::vector<Bytes> segments, const Codec* codec, const JobConfig& config,
+                      Counters& counters);
+
+  std::optional<KeyValue> next() override;
+
+ private:
+  struct Head {
+    std::unique_ptr<IFileReader> reader;
+    KeyValue kv;
+  };
+
+  /// Merges the `count` smallest segments into one (an extra pass).
+  void reduceSegmentCount(std::vector<Bytes>& segments, const Codec* codec, Counters& counters);
+
+  const JobConfig* config_;
+  std::vector<Head> heads_;
+};
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,93 @@
+#include "hadoop/report.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace scishuffle::hadoop {
+
+namespace {
+
+struct Skew {
+  u64 min = 0;
+  u64 median = 0;
+  u64 max = 0;
+};
+
+Skew skewOf(std::vector<u64> values) {
+  Skew s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.median = values[values.size() / 2];
+  s.max = values.back();
+  return s;
+}
+
+void printSkew(std::ostringstream& os, const char* label, const Skew& s, const char* unit) {
+  os << "  " << label << ": min " << s.min << unit << ", median " << s.median << unit << ", max "
+     << s.max << unit << "\n";
+}
+
+}  // namespace
+
+std::string jobReport(const JobResult& result) {
+  namespace c = counter;
+  std::ostringstream os;
+  os << "=== job report ===\n";
+  os << "phases: map " << result.timings.map_phase_us / 1000 << " ms, shuffle "
+     << result.timings.shuffle_us / 1000 << " ms, reduce "
+     << result.timings.reduce_phase_us / 1000 << " ms\n";
+  os << "map:    " << result.counters.get(c::kMapOutputRecords) << " records, "
+     << result.counters.get(c::kMapOutputBytes) << " bytes, materialized "
+     << result.counters.get(c::kMapOutputMaterializedBytes) << " bytes in "
+     << result.map_tasks.size() << " tasks\n";
+  if (result.counters.get(c::kCombineInputRecords) > 0) {
+    os << "combine: " << result.counters.get(c::kCombineInputRecords) << " -> "
+       << result.counters.get(c::kCombineOutputRecords) << " records\n";
+  }
+  os << "shuffle: " << result.counters.get(c::kReduceShuffleBytes) << " bytes to "
+     << result.reduce_tasks.size() << " reducers";
+  if (result.counters.get(c::kReduceMergePasses) > 0) {
+    os << " (+" << result.counters.get(c::kReduceMergePasses) << " merge passes, "
+       << result.counters.get(c::kReduceMergeMaterializedBytes) << " bytes)";
+  }
+  os << "\n";
+  os << "reduce: " << result.counters.get(c::kReduceInputGroups) << " groups, "
+     << result.counters.get(c::kReduceOutputRecords) << " output records\n";
+  if (result.counters.get(c::kKeySplitsOverlap) > 0 ||
+      result.counters.get(c::kKeySplitsRouting) > 0) {
+    os << "key splits: routing " << result.counters.get(c::kKeySplitsRouting) << ", overlap "
+       << result.counters.get(c::kKeySplitsOverlap) << "\n";
+  }
+
+  // Per-task skew (stragglers are what the event simulator models).
+  std::vector<u64> mapCpu;
+  std::vector<u64> mapBytes;
+  for (const auto& t : result.map_tasks) {
+    mapCpu.push_back(t.cpu_us / 1000);
+    mapBytes.push_back(std::accumulate(t.segment_bytes.begin(), t.segment_bytes.end(), u64{0}));
+  }
+  std::vector<u64> reduceBytes;
+  for (const auto& t : result.reduce_tasks) reduceBytes.push_back(t.shuffled_bytes);
+  os << "skew:\n";
+  printSkew(os, "map cpu", skewOf(std::move(mapCpu)), " ms");
+  printSkew(os, "map output", skewOf(std::move(mapBytes)), " B");
+  printSkew(os, "reduce input", skewOf(std::move(reduceBytes)), " B");
+  return os.str();
+}
+
+std::string jobSummaryLine(const JobResult& result) {
+  namespace c = counter;
+  std::ostringstream os;
+  os << result.counters.get(c::kMapOutputRecords) << " map records -> "
+     << result.counters.get(c::kMapOutputMaterializedBytes) << " materialized bytes -> "
+     << result.counters.get(c::kReduceOutputRecords) << " outputs in "
+     << (result.timings.map_phase_us + result.timings.shuffle_us +
+         result.timings.reduce_phase_us) /
+            1000
+     << " ms";
+  return os.str();
+}
+
+}  // namespace scishuffle::hadoop

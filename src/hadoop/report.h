@@ -1,0 +1,19 @@
+// Human-readable job reports: the "job history" summary Hadoop prints after
+// a run — counters grouped by phase, per-task skew statistics, and the
+// shuffle matrix totals. Used by the CLI and examples.
+#pragma once
+
+#include <string>
+
+#include "hadoop/runtime.h"
+
+namespace scishuffle::hadoop {
+
+/// Multi-line report: phase timings, headline counters, and per-task
+/// min/median/max skew for map CPU, map output and reduce input.
+std::string jobReport(const JobResult& result);
+
+/// One-line summary (records in/out, materialized bytes, wall time).
+std::string jobSummaryLine(const JobResult& result);
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,153 @@
+#include "hadoop/runtime.h"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "compress/codec.h"
+#include "hadoop/merge.h"
+#include "hadoop/thread_pool.h"
+#include "transform/transform_codec.h"
+
+namespace scishuffle::hadoop {
+
+namespace {
+
+u64 nowUs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+}  // namespace
+
+JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                 const ReduceFn& reduce) {
+  check(config.num_reducers >= 1, "need at least one reducer");
+  registerTransformCodecs();  // ensure codec names resolve
+  const auto codecPtr = config.intermediate_codec == "null"
+                            ? nullptr
+                            : CodecRegistry::instance().create(config.intermediate_codec);
+
+  JobResult result;
+  result.map_tasks.resize(mapTasks.size());
+  result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
+  std::mutex outputsMutex;
+  std::vector<MapOutput> mapOutputs(mapTasks.size());
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  auto recordError = [&] {
+    std::scoped_lock lock(errorMutex);
+    if (!firstError) firstError = std::current_exception();
+  };
+
+  // ---- Map phase (steps 1-3): map, combine, sort, spill, merge spills.
+  const u64 mapStart = nowUs();
+  {
+    ThreadPool pool(config.map_slots);
+    for (std::size_t m = 0; m < mapTasks.size(); ++m) {
+      pool.submit([&, m] {
+        // Fault tolerance: a failed attempt is discarded wholesale (fresh
+        // MapOutputBuffer, fresh counters) and the task re-executes.
+        for (int attempt = 1;; ++attempt) {
+          try {
+            Counters taskCounters;
+            MapOutputBuffer buffer(config, codecPtr.get(), taskCounters);
+            const u64 taskStart = nowUs();
+            const EmitFn emit = [&](Bytes key, Bytes value) {
+              auto routed =
+                  config.router(KeyValue{std::move(key), std::move(value)}, config.num_reducers);
+              for (auto& [partition, kv] : routed) buffer.collect(partition, std::move(kv));
+            };
+            mapTasks[m].run(emit);
+            taskCounters.add(counter::kMapCpuUs, nowUs() - taskStart);
+            mapOutputs[m] = buffer.finish();
+            MapTaskStats& stats = result.map_tasks[m];
+            stats.cpu_us = taskCounters.get(counter::kMapCpuUs) +
+                           taskCounters.get(counter::kSortCpuUs) +
+                           taskCounters.get(counter::kCodecCompressCpuUs);
+            stats.segment_bytes.reserve(mapOutputs[m].segments.size());
+            for (const Bytes& segment : mapOutputs[m].segments) {
+              stats.segment_bytes.push_back(segment.size());
+            }
+            result.counters.merge(taskCounters);
+            break;
+          } catch (...) {
+            if (attempt >= config.max_task_attempts) {
+              recordError();
+              break;
+            }
+          }
+        }
+      });
+    }
+    pool.wait();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  result.timings.map_phase_us = nowUs() - mapStart;
+
+  // ---- Shuffle (step 4): every reducer fetches its segment from every map.
+  const u64 shuffleStart = nowUs();
+  std::vector<std::vector<Bytes>> reducerSegments(static_cast<std::size_t>(config.num_reducers));
+  for (auto& mo : mapOutputs) {
+    for (int r = 0; r < config.num_reducers; ++r) {
+      Bytes& segment = mo.segments[static_cast<std::size_t>(r)];
+      result.counters.add(counter::kReduceShuffleBytes, segment.size());
+      result.reduce_tasks[static_cast<std::size_t>(r)].shuffled_bytes += segment.size();
+      reducerSegments[static_cast<std::size_t>(r)].push_back(std::move(segment));
+    }
+  }
+  result.timings.shuffle_us = nowUs() - shuffleStart;
+
+  // ---- Reduce phase (steps 5-7): merge sort, group, reduce.
+  result.outputs.resize(static_cast<std::size_t>(config.num_reducers));
+  const u64 reduceStart = nowUs();
+  {
+    ThreadPool pool(config.reduce_slots);
+    for (int r = 0; r < config.num_reducers; ++r) {
+      pool.submit([&, r] {
+        // Reduce retry needs its input segments intact across attempts.
+        const std::vector<Bytes> segments =
+            std::move(reducerSegments[static_cast<std::size_t>(r)]);
+        for (int attempt = 1;; ++attempt) {
+          try {
+            Counters taskCounters;
+            MergedSegmentStream stream(segments, codecPtr.get(), config, taskCounters);
+            std::vector<KeyValue> output;
+            const EmitFn emit = [&](Bytes key, Bytes value) {
+              taskCounters.add(counter::kReduceOutputRecords, 1);
+              output.push_back(KeyValue{std::move(key), std::move(value)});
+            };
+            const u64 taskStart = nowUs();
+            config.grouper->run(stream, reduce, emit, taskCounters);
+            taskCounters.add(counter::kReduceCpuUs, nowUs() - taskStart);
+            ReduceTaskStats& stats = result.reduce_tasks[static_cast<std::size_t>(r)];
+            stats.cpu_us = taskCounters.get(counter::kReduceCpuUs) +
+                           taskCounters.get(counter::kCodecDecompressCpuUs);
+            stats.merge_materialized_bytes =
+                taskCounters.get(counter::kReduceMergeMaterializedBytes);
+            for (const auto& kv : output) stats.output_bytes += kv.key.size() + kv.value.size();
+            {
+              std::scoped_lock lock(outputsMutex);
+              result.outputs[static_cast<std::size_t>(r)] = std::move(output);
+            }
+            result.counters.merge(taskCounters);
+            break;
+          } catch (...) {
+            if (attempt >= config.max_task_attempts) {
+              recordError();
+              break;
+            }
+          }
+        }
+      });
+    }
+    pool.wait();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  result.timings.reduce_phase_us = nowUs() - reduceStart;
+
+  return result;
+}
+
+}  // namespace scishuffle::hadoop

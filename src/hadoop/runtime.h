@@ -1,0 +1,59 @@
+// Job runtime: executes map tasks on map slots, shuffles materialized
+// segments to reducers, merges, and drives the reduce-side grouper —
+// the full data path of the paper's Fig. 1, steps 1-7.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hadoop/counters.h"
+#include "hadoop/job.h"
+#include "hadoop/spill.h"
+
+namespace scishuffle::hadoop {
+
+/// A map task is a closure over its input split; it emits intermediate
+/// key/value pairs through the provided EmitFn.
+struct MapTask {
+  std::function<void(const EmitFn& emit)> run;
+};
+
+/// Wall-clock phase durations measured during the run (microseconds).
+/// These are *local machine* timings; the cluster cost model combines them
+/// with byte counters to project the paper's 5-node setup.
+struct PhaseTimings {
+  u64 map_phase_us = 0;     // all map tasks, wall time of the phase
+  u64 shuffle_us = 0;       // segment hand-off (local copy)
+  u64 reduce_phase_us = 0;  // merge + reduce, wall time of the phase
+};
+
+/// Per-map-task record used by the event-driven cluster simulator: how much
+/// CPU the task burned locally and how many materialized bytes it produced
+/// for each reducer.
+struct MapTaskStats {
+  u64 cpu_us = 0;  // map function + sort + codec
+  std::vector<u64> segment_bytes;
+};
+
+struct ReduceTaskStats {
+  u64 cpu_us = 0;  // decompress + group/split + reduce
+  u64 shuffled_bytes = 0;
+  u64 merge_materialized_bytes = 0;
+  u64 output_bytes = 0;
+};
+
+struct JobResult {
+  /// Final output, per reducer, in reduce-emit order (step 7's HDFS write).
+  std::vector<std::vector<KeyValue>> outputs;
+  Counters counters;
+  PhaseTimings timings;
+  std::vector<MapTaskStats> map_tasks;
+  std::vector<ReduceTaskStats> reduce_tasks;
+};
+
+/// Runs a complete MapReduce job. Thread-safe hooks required: key_less,
+/// router and combiner run concurrently across tasks.
+JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                 const ReduceFn& reduce);
+
+}  // namespace scishuffle::hadoop

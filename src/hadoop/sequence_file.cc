@@ -1,0 +1,160 @@
+#include "hadoop/sequence_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/crc32.h"
+#include "io/primitives.h"
+#include "io/streams.h"
+#include "io/varint.h"
+
+namespace scishuffle::hadoop {
+
+namespace {
+
+constexpr char kMagic[6] = {'S', 'Z', 'S', 'E', 'Q', '1'};
+constexpr i32 kSyncEscape = -1;
+
+std::array<u8, kSyncMarkerSize> deriveSync(const SequenceFileHeader& header, u64 seed) {
+  // Two CRC rounds over (header fields, seed) give 8 bytes each.
+  Bytes material;
+  MemorySink sink(material);
+  writeText(sink, header.key_class);
+  writeText(sink, header.value_class);
+  writeText(sink, header.codec);
+  writeU64(sink, seed);
+  std::array<u8, kSyncMarkerSize> sync{};
+  u32 h = crc32(material);
+  for (std::size_t i = 0; i < kSyncMarkerSize; ++i) {
+    h = h * 1664525u + 1013904223u;
+    sync[i] = static_cast<u8>(h >> 24);
+  }
+  return sync;
+}
+
+std::unique_ptr<Codec> makeCodec(const std::string& name) {
+  if (name == "null") return nullptr;
+  registerBuiltinCodecs();
+  return CodecRegistry::instance().create(name);
+}
+
+}  // namespace
+
+SequenceFileWriter::SequenceFileWriter(ByteSink& sink, SequenceFileHeader header, u64 seed)
+    : sink_(&sink), header_(std::move(header)), codec_(makeCodec(header_.codec)),
+      sync_(deriveSync(header_, seed)) {
+  Bytes buf;
+  MemorySink mem(buf);
+  mem.write(ByteSpan(reinterpret_cast<const u8*>(kMagic), sizeof kMagic));
+  writeText(mem, header_.key_class);
+  writeText(mem, header_.value_class);
+  writeText(mem, header_.codec);
+  mem.write(sync_);
+  sink_->write(buf);
+  bytesWritten_ = buf.size();
+}
+
+void SequenceFileWriter::writeSync() {
+  Bytes buf;
+  MemorySink mem(buf);
+  writeVInt(mem, kSyncEscape);
+  mem.write(sync_);
+  sink_->write(buf);
+  bytesWritten_ += buf.size();
+  bytesSinceSync_ = 0;
+}
+
+void SequenceFileWriter::append(ByteSpan key, ByteSpan value) {
+  check(!closed_, "append after close");
+  if (bytesSinceSync_ >= kSyncIntervalBytes) writeSync();
+
+  Bytes valueBuf;
+  if (codec_ != nullptr) {
+    valueBuf = codec_->compress(value);
+    value = valueBuf;
+  }
+  Bytes buf;
+  MemorySink mem(buf);
+  writeVInt(mem, static_cast<i32>(key.size() + value.size()));
+  writeVInt(mem, static_cast<i32>(key.size()));
+  mem.write(key);
+  mem.write(value);
+  sink_->write(buf);
+  bytesWritten_ += buf.size();
+  bytesSinceSync_ += buf.size();
+  ++records_;
+}
+
+void SequenceFileWriter::close() {
+  check(!closed_, "double close");
+  writeSync();
+  sink_->flush();
+  closed_ = true;
+}
+
+SequenceFileReader::SequenceFileReader(ByteSpan file) : file_(file) {
+  MemorySource source(file_);
+  char magic[6];
+  source.readExact(MutableByteSpan(reinterpret_cast<u8*>(magic), sizeof magic));
+  checkFormat(std::memcmp(magic, kMagic, sizeof kMagic) == 0, "bad SequenceFile magic");
+  header_.key_class = readText(source);
+  header_.value_class = readText(source);
+  header_.codec = readText(source);
+  source.readExact(MutableByteSpan(sync_.data(), sync_.size()));
+  codec_ = makeCodec(header_.codec);
+  pos_ = source.position();
+}
+
+std::optional<KeyValue> SequenceFileReader::next() {
+  for (;;) {
+    if (pos_ >= file_.size()) return std::nullopt;
+    MemorySource source(file_.subspan(pos_));
+    const i32 recordLen = readVInt(source);
+    if (recordLen == kSyncEscape) {
+      std::array<u8, kSyncMarkerSize> marker;
+      source.readExact(MutableByteSpan(marker.data(), marker.size()));
+      checkFormat(marker == sync_, "sync marker mismatch");
+      pos_ += source.position();
+      continue;
+    }
+    checkFormat(recordLen >= 0, "negative record length");
+    const i32 keyLen = readVInt(source);
+    checkFormat(keyLen >= 0 && keyLen <= recordLen, "bad key length");
+    KeyValue kv;
+    kv.key.resize(static_cast<std::size_t>(keyLen));
+    source.readExact(MutableByteSpan(kv.key.data(), kv.key.size()));
+    kv.value.resize(static_cast<std::size_t>(recordLen - keyLen));
+    source.readExact(MutableByteSpan(kv.value.data(), kv.value.size()));
+    pos_ += source.position();
+    if (codec_ != nullptr) kv.value = codec_->decompress(kv.value);
+    return kv;
+  }
+}
+
+bool SequenceFileReader::seekToNextSync() {
+  // Scan for the escape byte followed by the sync marker. The escape is the
+  // single-byte vint encoding of -1 (0xFF).
+  const u8 escape = 0xFF;
+  std::size_t at = pos_;
+  while (at + 1 + kSyncMarkerSize <= file_.size()) {
+    if (file_[at] == escape &&
+        std::equal(sync_.begin(), sync_.end(), file_.begin() + static_cast<std::ptrdiff_t>(at) + 1)) {
+      pos_ = at + 1 + kSyncMarkerSize;
+      return true;
+    }
+    ++at;
+  }
+  pos_ = file_.size();
+  return false;
+}
+
+void writeJobOutputs(ByteSink& sink, const std::vector<std::vector<KeyValue>>& outputs,
+                     const SequenceFileHeader& header, u64 seed) {
+  SequenceFileWriter writer(sink, header, seed);
+  for (const auto& part : outputs) {
+    for (const auto& kv : part) writer.append(kv.key, kv.value);
+  }
+  writer.close();
+}
+
+}  // namespace scishuffle::hadoop

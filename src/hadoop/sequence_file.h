@@ -1,0 +1,85 @@
+// SequenceFile: Hadoop's standard container for job inputs/outputs,
+// reproduced in structure — header with key/value class names and codec, a
+// 16-byte sync marker re-emitted every ~kSyncIntervalBytes so readers can
+// resynchronize mid-file (split processing / corruption recovery), and
+// length-prefixed records with optional per-record value compression.
+//
+// Step 7 of the paper's Fig. 1 ("Output is written back to HDFS") lands in
+// this format; writeJobOutputs below does exactly that for a JobResult.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "compress/codec.h"
+#include "hadoop/types.h"
+#include "io/streams.h"
+
+namespace scishuffle::hadoop {
+
+constexpr std::size_t kSyncMarkerSize = 16;
+constexpr std::size_t kSyncIntervalBytes = 2000;
+
+struct SequenceFileHeader {
+  std::string key_class = "bytes";
+  std::string value_class = "bytes";
+  std::string codec = "null";  // per-record *value* compression
+};
+
+class SequenceFileWriter {
+ public:
+  /// `seed` determines the sync marker (Hadoop uses a random UID; a seed
+  /// keeps tests deterministic while markers still differ across files).
+  SequenceFileWriter(ByteSink& sink, SequenceFileHeader header, u64 seed = 0);
+
+  void append(ByteSpan key, ByteSpan value);
+
+  /// Flushes a trailing sync so appended files stay splittable.
+  void close();
+
+  u64 bytesWritten() const { return bytesWritten_; }
+  u64 records() const { return records_; }
+
+ private:
+  void writeSync();
+
+  ByteSink* sink_;
+  SequenceFileHeader header_;
+  std::unique_ptr<Codec> codec_;  // null when header_.codec == "null"
+  std::array<u8, kSyncMarkerSize> sync_;
+  u64 bytesWritten_ = 0;
+  u64 bytesSinceSync_ = 0;
+  u64 records_ = 0;
+  bool closed_ = false;
+};
+
+class SequenceFileReader {
+ public:
+  explicit SequenceFileReader(ByteSpan file);
+
+  const SequenceFileHeader& header() const { return header_; }
+
+  /// Next record in file order; nullopt at end of file.
+  std::optional<KeyValue> next();
+
+  /// Skips forward from the current position to just after the next sync
+  /// marker; returns false if none remains. Used to resume after corrupt
+  /// regions or to start a split mid-file.
+  bool seekToNextSync();
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  ByteSpan file_;
+  SequenceFileHeader header_;
+  std::unique_ptr<Codec> codec_;
+  std::array<u8, kSyncMarkerSize> sync_{};
+  std::size_t pos_ = 0;
+};
+
+/// Serializes every reducer's output ("part-r-N" concatenation) into sink.
+void writeJobOutputs(ByteSink& sink, const std::vector<std::vector<KeyValue>>& outputs,
+                     const SequenceFileHeader& header, u64 seed = 0);
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,141 @@
+#include "hadoop/spill.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "io/streams.h"
+
+namespace scishuffle::hadoop {
+
+namespace {
+u64 nowUs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+std::filesystem::path uniqueSpillPath(const std::filesystem::path& dir, std::size_t partition) {
+  static std::atomic<u64> counter{0};
+  return dir / ("spill_" + std::to_string(counter.fetch_add(1)) + "_p" +
+                std::to_string(partition) + ".ifile");
+}
+}  // namespace
+
+MapOutputBuffer::MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters)
+    : config_(&config), codec_(codec), counters_(&counters) {
+  buffer_.resize(static_cast<std::size_t>(config.num_reducers));
+}
+
+void MapOutputBuffer::collect(int partition, KeyValue kv) {
+  check(partition >= 0 && partition < config_->num_reducers, "partition out of range");
+  counters_->add(counter::kMapOutputRecords, 1);
+  counters_->add(counter::kMapOutputBytes, kv.key.size() + kv.value.size());
+  bufferedBytes_ += kv.key.size() + kv.value.size();
+  buffer_[static_cast<std::size_t>(partition)].push_back(std::move(kv));
+  if (bufferedBytes_ >= config_->spill_buffer_bytes) spill();
+}
+
+std::vector<KeyValue> MapOutputBuffer::sortAndCombine(std::vector<KeyValue>&& records,
+                                                      bool useCombiner) {
+  const u64 sortStart = nowUs();
+  std::stable_sort(records.begin(), records.end(), [&](const KeyValue& a, const KeyValue& b) {
+    return config_->key_less(a.key, b.key);
+  });
+  counters_->add(counter::kSortCpuUs, nowUs() - sortStart);
+  if (!useCombiner || !config_->combiner) return std::move(records);
+
+  std::vector<KeyValue> combined;
+  const EmitFn emit = [&](Bytes key, Bytes value) {
+    counters_->add(counter::kCombineOutputRecords, 1);
+    combined.push_back(KeyValue{std::move(key), std::move(value)});
+  };
+  std::size_t i = 0;
+  while (i < records.size()) {
+    std::size_t j = i + 1;
+    while (j < records.size() && records[j].key == records[i].key) ++j;
+    std::vector<Bytes> values;
+    values.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) values.push_back(std::move(records[k].value));
+    counters_->add(counter::kCombineInputRecords, values.size());
+    config_->combiner(records[i].key, values, emit);
+    i = j;
+  }
+  // The combiner may emit out of order; restore the segment invariant.
+  std::stable_sort(combined.begin(), combined.end(), [&](const KeyValue& a, const KeyValue& b) {
+    return config_->key_less(a.key, b.key);
+  });
+  return combined;
+}
+
+void MapOutputBuffer::spill() {
+  const bool toDisk = !config_->spill_dir.empty();
+  Spill spill;
+  spill.segments.resize(buffer_.size());
+  if (toDisk) spill.spillFiles.resize(buffer_.size());
+  for (std::size_t p = 0; p < buffer_.size(); ++p) {
+    auto records = sortAndCombine(std::move(buffer_[p]), /*useCombiner=*/true);
+    buffer_[p].clear();
+    counters_->add(counter::kSpilledRecords, records.size());
+    IFileWriter writer(codec_);
+    for (const KeyValue& kv : records) writer.append(kv.key, kv.value);
+    Bytes segment = writer.close();
+    counters_->add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+    if (toDisk) {
+      spill.spillFiles[p] = uniqueSpillPath(config_->spill_dir, p);
+      FileSink file(spill.spillFiles[p]);
+      file.write(segment);
+    } else {
+      spill.segments[p] = std::move(segment);
+    }
+  }
+  spills_.push_back(std::move(spill));
+  bufferedBytes_ = 0;
+}
+
+Bytes MapOutputBuffer::segmentBytes(const Spill& s, std::size_t partition) const {
+  if (!s.spillFiles.empty()) {
+    FileSource source(s.spillFiles[partition]);
+    return source.readAll();
+  }
+  return s.segments[partition];
+}
+
+MapOutput MapOutputBuffer::finish() {
+  spill();  // flush the tail (Hadoop always spills at least once)
+
+  MapOutput out;
+  out.segments.resize(buffer_.size());
+  for (std::size_t p = 0; p < buffer_.size(); ++p) {
+    if (spills_.size() == 1) {
+      out.segments[p] = segmentBytes(spills_[0], p);
+    } else {
+      // Merge the sorted spill segments for this partition; rerun the
+      // combiner across spill boundaries as Hadoop does for >= 2 spills.
+      std::vector<KeyValue> all;
+      for (auto& s : spills_) {
+        const Bytes segment = segmentBytes(s, p);
+        IFileReader reader(segment, codec_);
+        counters_->add(counter::kCodecDecompressCpuUs, reader.decompressCpuUs());
+        while (auto kv = reader.next()) all.push_back(std::move(*kv));
+      }
+      auto records = sortAndCombine(std::move(all), /*useCombiner=*/true);
+      IFileWriter writer(codec_);
+      for (const KeyValue& kv : records) writer.append(kv.key, kv.value);
+      out.segments[p] = writer.close();
+      counters_->add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+    }
+    counters_->add(counter::kMapOutputMaterializedBytes, out.segments[p].size());
+  }
+  // Spill files are transient; remove them once merged.
+  for (const auto& s : spills_) {
+    for (const auto& path : s.spillFiles) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+  spills_.clear();
+  return out;
+}
+
+}  // namespace scishuffle::hadoop

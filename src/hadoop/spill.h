@@ -1,0 +1,50 @@
+// Map-side output collection: buffer, sort, (combine), spill to IFile
+// segments, and final merge of spills — steps 2-3 of the paper's Fig. 1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/codec.h"
+#include "hadoop/counters.h"
+#include "hadoop/ifile.h"
+#include "hadoop/job.h"
+
+namespace scishuffle::hadoop {
+
+/// Output of one map task: one materialized IFile segment per reducer.
+struct MapOutput {
+  std::vector<Bytes> segments;  // indexed by partition
+};
+
+class MapOutputBuffer {
+ public:
+  MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters);
+
+  /// Collects a record already routed to `partition`.
+  void collect(int partition, KeyValue kv);
+
+  /// Flushes remaining records and merges spills into final segments.
+  MapOutput finish();
+
+ private:
+  struct Spill {
+    std::vector<Bytes> segments;                     // per partition, IFile bytes...
+    std::vector<std::filesystem::path> spillFiles;   // ...or on-disk when spill_dir is set
+  };
+
+  void spill();
+  /// Segment bytes for (spill, partition), reading back from disk if needed.
+  Bytes segmentBytes(const Spill& s, std::size_t partition) const;
+  /// Sorts records of one partition and runs the combiner over equal keys.
+  std::vector<KeyValue> sortAndCombine(std::vector<KeyValue>&& records, bool useCombiner);
+
+  const JobConfig* config_;
+  const Codec* codec_;
+  Counters* counters_;
+  std::vector<std::vector<KeyValue>> buffer_;  // per partition
+  std::size_t bufferedBytes_ = 0;
+  std::vector<Spill> spills_;
+};
+
+}  // namespace scishuffle::hadoop

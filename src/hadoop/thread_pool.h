@@ -1,0 +1,43 @@
+// Minimal fixed-size thread pool used to model map/reduce "slots": at most
+// `slots` tasks execute concurrently, the rest queue, mirroring Hadoop's
+// per-node task slots.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::hadoop {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int slots);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; wrap exceptions yourself.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  int inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,74 @@
+// Core key/value types and the pluggable hooks a job can install.
+//
+// Hadoop's assumptions the paper calls out (§II-B) live here as the
+// *defaults*: keys are opaque byte strings compared lexicographically,
+// routed independently by a hash partitioner, and grouped by byte equality.
+// SciHadoop's aggregate-key support replaces each default via these hooks —
+// the same seam the authors patched in Hadoop (§IV-B).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::hadoop {
+
+class Counters;
+
+struct KeyValue {
+  Bytes key;
+  Bytes value;
+
+  bool operator==(const KeyValue&) const = default;
+};
+
+/// Map-side emit callback.
+using EmitFn = std::function<void(Bytes key, Bytes value)>;
+
+/// Reduce/combine function: one key group with all its values.
+using ReduceFn = std::function<void(const Bytes& key, std::vector<Bytes>& values,
+                                    const EmitFn& emit)>;
+
+/// Strict weak order on serialized keys. Defaults to lexicographic.
+using KeyLessFn = std::function<bool(ByteSpan, ByteSpan)>;
+
+bool lexicographicLess(ByteSpan a, ByteSpan b);
+
+/// Routing hook: assigns a record to one or more partitions, possibly
+/// splitting it (aggregate keys whose simple keys span reducers, §IV-B).
+/// Default: singleton at hash(key) % numPartitions.
+using RouteFn = std::function<std::vector<std::pair<int, KeyValue>>(KeyValue&& record,
+                                                                    int numPartitions)>;
+
+RouteFn hashRouter();
+
+/// FNV-1a over the key bytes (default partitioner hash).
+u32 hashBytes(ByteSpan data);
+
+/// Sorted record stream handed to the reduce-side grouper.
+class KVStream {
+ public:
+  virtual ~KVStream() = default;
+  virtual std::optional<KeyValue> next() = 0;
+};
+
+/// Reduce-side grouping strategy. The default groups byte-equal keys; the
+/// scikey layer substitutes one that splits overlapping aggregate keys at
+/// overlap boundaries before grouping (Fig. 7).
+class ReduceGrouper {
+ public:
+  virtual ~ReduceGrouper() = default;
+  virtual void run(KVStream& sorted, const ReduceFn& reduce, const EmitFn& emit,
+                   Counters& counters) = 0;
+};
+
+class DefaultGrouper final : public ReduceGrouper {
+ public:
+  void run(KVStream& sorted, const ReduceFn& reduce, const EmitFn& emit,
+           Counters& counters) override;
+};
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,66 @@
+#include "io/bitio.h"
+
+#include <algorithm>
+
+namespace scishuffle {
+
+void BitWriter::writeBits(u32 bits, int count) {
+  check(count >= 0 && count <= 32, "bit count out of range");
+  bitsWritten_ += static_cast<u64>(count);
+  while (count > 0) {
+    const int take = std::min(count, 8 - accBits_);
+    acc_ |= (bits & ((1u << take) - 1u)) << accBits_;
+    accBits_ += take;
+    bits >>= take;
+    count -= take;
+    if (accBits_ == 8) {
+      sink_->writeByte(static_cast<u8>(acc_));
+      acc_ = 0;
+      accBits_ = 0;
+    }
+  }
+}
+
+void BitWriter::writeCodeMsbFirst(u32 code, int length) {
+  u32 reversed = 0;
+  for (int i = 0; i < length; ++i) {
+    reversed = (reversed << 1) | ((code >> i) & 1u);
+  }
+  writeBits(reversed, length);
+}
+
+void BitWriter::alignToByte() {
+  if (accBits_ > 0) {
+    sink_->writeByte(static_cast<u8>(acc_));
+    acc_ = 0;
+    bitsWritten_ += static_cast<u64>(8 - accBits_);
+    accBits_ = 0;
+  }
+}
+
+u32 BitReader::readBits(int count) {
+  check(count >= 0 && count <= 32, "bit count out of range");
+  u32 out = 0;
+  int got = 0;
+  while (got < count) {
+    if (accBits_ == 0) {
+      const int b = source_->readByte();
+      checkFormat(b >= 0, "EOF in bit stream");
+      acc_ = static_cast<u32>(b);
+      accBits_ = 8;
+    }
+    const int take = std::min(count - got, accBits_);
+    out |= (acc_ & ((1u << take) - 1u)) << got;
+    acc_ >>= take;
+    accBits_ -= take;
+    got += take;
+  }
+  return out;
+}
+
+void BitReader::alignToByte() {
+  acc_ = 0;
+  accBits_ = 0;
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,55 @@
+// Bit-granular writer/reader used by the entropy coders in src/compress.
+// Bits are packed LSB-first within each byte (DEFLATE convention).
+#pragma once
+
+#include "io/common.h"
+#include "io/streams.h"
+
+namespace scishuffle {
+
+class BitWriter {
+ public:
+  explicit BitWriter(ByteSink& sink) : sink_(&sink) {}
+
+  /// Writes the low `count` bits of `bits`, LSB first. count <= 32.
+  void writeBits(u32 bits, int count);
+
+  /// Writes a Huffman code given MSB-first (canonical codes are naturally
+  /// MSB-first); reverses into the LSB-first stream.
+  void writeCodeMsbFirst(u32 code, int length);
+
+  /// Pads to a byte boundary with zero bits and flushes the staging byte.
+  void alignToByte();
+
+  /// Must be called before the underlying sink is used directly again.
+  void finish() { alignToByte(); }
+
+  u64 bitsWritten() const { return bitsWritten_; }
+
+ private:
+  ByteSink* sink_;
+  u32 acc_ = 0;
+  int accBits_ = 0;
+  u64 bitsWritten_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(ByteSource& source) : source_(&source) {}
+
+  /// Reads `count` bits LSB-first. Throws FormatError at EOF.
+  u32 readBits(int count);
+
+  /// Reads a single bit.
+  u32 readBit() { return readBits(1); }
+
+  /// Discards bits up to the next byte boundary.
+  void alignToByte();
+
+ private:
+  ByteSource* source_;
+  u32 acc_ = 0;
+  int accBits_ = 0;
+};
+
+}  // namespace scishuffle

@@ -1,0 +1,49 @@
+// Project-wide aliases and contract-check helpers.
+//
+// Everything in scishuffle works on raw byte sequences; `Bytes` and `ByteSpan`
+// are the lingua franca between the grid model, the serializers, the codecs
+// and the shuffle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scishuffle {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Thrown on malformed serialized data (truncated stream, bad magic, CRC
+/// mismatch, ...). Distinct from logic errors so callers can handle corrupt
+/// input without catching programming mistakes.
+class FormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Precondition/invariant check that survives NDEBUG builds. Used on
+/// conditions that guard data integrity rather than hot inner loops.
+inline void check(bool condition, const char* what) {
+  if (!condition) throw std::logic_error(std::string("scishuffle check failed: ") + what);
+}
+
+/// Like check() but reports a data-format problem.
+inline void checkFormat(bool condition, const char* what) {
+  if (!condition) throw FormatError(std::string("scishuffle format error: ") + what);
+}
+
+}  // namespace scishuffle

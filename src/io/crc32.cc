@@ -1,0 +1,32 @@
+#include "io/crc32.h"
+
+#include <array>
+
+namespace scishuffle {
+
+namespace {
+constexpr std::array<u32, 256> makeTable() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = makeTable();
+}  // namespace
+
+void Crc32::update(ByteSpan data) {
+  u32 c = state_;
+  for (const u8 b : data) c = kTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+u32 crc32(ByteSpan data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, same as zlib and Hadoop's IFile checksum).
+#pragma once
+
+#include "io/common.h"
+
+namespace scishuffle {
+
+/// Incremental CRC-32 computation.
+class Crc32 {
+ public:
+  void update(ByteSpan data);
+  void update(u8 b) { update(ByteSpan(&b, 1)); }
+
+  /// Final checksum value for everything fed so far.
+  u32 value() const { return ~state_; }
+
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  u32 state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+u32 crc32(ByteSpan data);
+
+}  // namespace scishuffle

@@ -1,0 +1,103 @@
+// Fixed-width primitive serialization, big-endian ("network order"), matching
+// the byte layout of Hadoop Writables (IntWritable, FloatWritable, Text).
+//
+// The byte-level transform of §III operates on exactly these encodings: a
+// row-major walk over a grid serialized this way produces the linear byte
+// sequences of Fig. 2.
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "io/common.h"
+#include "io/streams.h"
+#include "io/varint.h"
+
+namespace scishuffle {
+
+inline void writeU8(ByteSink& s, u8 v) { s.writeByte(v); }
+
+inline void writeU16(ByteSink& s, u16 v) {
+  const u8 b[2] = {static_cast<u8>(v >> 8), static_cast<u8>(v)};
+  s.write(ByteSpan(b, 2));
+}
+
+inline void writeU32(ByteSink& s, u32 v) {
+  const u8 b[4] = {static_cast<u8>(v >> 24), static_cast<u8>(v >> 16), static_cast<u8>(v >> 8),
+                   static_cast<u8>(v)};
+  s.write(ByteSpan(b, 4));
+}
+
+inline void writeU64(ByteSink& s, u64 v) {
+  u8 b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<u8>(v >> (56 - 8 * i));
+  s.write(ByteSpan(b, 8));
+}
+
+inline void writeI32(ByteSink& s, i32 v) { writeU32(s, static_cast<u32>(v)); }
+inline void writeI64(ByteSink& s, i64 v) { writeU64(s, static_cast<u64>(v)); }
+
+inline void writeF32(ByteSink& s, float v) {
+  static_assert(sizeof(float) == 4);
+  writeU32(s, std::bit_cast<u32>(v));
+}
+
+inline void writeF64(ByteSink& s, double v) {
+  static_assert(sizeof(double) == 8);
+  writeU64(s, std::bit_cast<u64>(v));
+}
+
+/// Hadoop Text: vint byte length followed by the raw bytes.
+inline void writeText(ByteSink& s, std::string_view str) {
+  writeVInt(s, static_cast<i32>(str.size()));
+  s.write(ByteSpan(reinterpret_cast<const u8*>(str.data()), str.size()));
+}
+
+/// Serialized size of writeText.
+inline std::size_t textSize(std::string_view str) {
+  return vlongSize(static_cast<i64>(str.size())) + str.size();
+}
+
+inline u8 readU8(ByteSource& s) {
+  const int b = s.readByte();
+  checkFormat(b >= 0, "EOF reading u8");
+  return static_cast<u8>(b);
+}
+
+inline u16 readU16(ByteSource& s) {
+  u8 b[2];
+  s.readExact(MutableByteSpan(b, 2));
+  return static_cast<u16>((b[0] << 8) | b[1]);
+}
+
+inline u32 readU32(ByteSource& s) {
+  u8 b[4];
+  s.readExact(MutableByteSpan(b, 4));
+  return (static_cast<u32>(b[0]) << 24) | (static_cast<u32>(b[1]) << 16) |
+         (static_cast<u32>(b[2]) << 8) | static_cast<u32>(b[3]);
+}
+
+inline u64 readU64(ByteSource& s) {
+  u8 b[8];
+  s.readExact(MutableByteSpan(b, 8));
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+  return v;
+}
+
+inline i32 readI32(ByteSource& s) { return static_cast<i32>(readU32(s)); }
+inline i64 readI64(ByteSource& s) { return static_cast<i64>(readU64(s)); }
+inline float readF32(ByteSource& s) { return std::bit_cast<float>(readU32(s)); }
+inline double readF64(ByteSource& s) { return std::bit_cast<double>(readU64(s)); }
+
+inline std::string readText(ByteSource& s) {
+  const i32 len = readVInt(s);
+  checkFormat(len >= 0, "negative text length");
+  std::string str(static_cast<std::size_t>(len), '\0');
+  s.readExact(MutableByteSpan(reinterpret_cast<u8*>(str.data()), str.size()));
+  return str;
+}
+
+}  // namespace scishuffle

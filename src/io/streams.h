@@ -1,0 +1,126 @@
+// Minimal stream abstractions: a ByteSink accepts bytes, a ByteSource yields
+// them. Memory-backed and file-backed implementations are provided, plus a
+// counting decorator used by the shuffle to account materialized bytes.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "io/common.h"
+
+namespace scishuffle {
+
+/// Destination for a stream of bytes.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+
+  virtual void write(ByteSpan data) = 0;
+
+  /// Flush buffered data to the underlying medium (no-op by default).
+  virtual void flush() {}
+
+  void writeByte(u8 b) { write(ByteSpan(&b, 1)); }
+};
+
+/// Source of a stream of bytes.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Reads up to out.size() bytes; returns the number read (0 at EOF).
+  virtual std::size_t read(MutableByteSpan out) = 0;
+
+  /// Reads exactly out.size() bytes or throws FormatError on truncation.
+  void readExact(MutableByteSpan out);
+
+  /// Reads one byte; returns -1 at EOF.
+  int readByte();
+
+  /// Drains the remainder of the stream.
+  Bytes readAll();
+};
+
+/// Appends to an in-memory buffer owned elsewhere.
+class MemorySink final : public ByteSink {
+ public:
+  explicit MemorySink(Bytes& out) : out_(&out) {}
+  void write(ByteSpan data) override { out_->insert(out_->end(), data.begin(), data.end()); }
+
+ private:
+  Bytes* out_;
+};
+
+/// Reads from a borrowed byte span.
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(ByteSpan data) : data_(data) {}
+  std::size_t read(MutableByteSpan out) override;
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// Buffered file writer (RAII; flushes and closes on destruction).
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(const std::filesystem::path& path);
+  void write(ByteSpan data) override;
+  void flush() override;
+
+ private:
+  struct Closer {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, Closer> file_;
+};
+
+/// Buffered file reader.
+class FileSource final : public ByteSource {
+ public:
+  explicit FileSource(const std::filesystem::path& path);
+  std::size_t read(MutableByteSpan out) override;
+
+ private:
+  struct Closer {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, Closer> file_;
+};
+
+/// Decorator that counts bytes flowing into an inner sink.
+class CountingSink final : public ByteSink {
+ public:
+  explicit CountingSink(ByteSink& inner) : inner_(&inner) {}
+  void write(ByteSpan data) override {
+    count_ += data.size();
+    inner_->write(data);
+  }
+  void flush() override { inner_->flush(); }
+  u64 count() const { return count_; }
+
+ private:
+  ByteSink* inner_;
+  u64 count_ = 0;
+};
+
+/// Sink that discards everything but keeps the byte count; handy for sizing.
+class NullSink final : public ByteSink {
+ public:
+  void write(ByteSpan data) override { count_ += data.size(); }
+  u64 count() const { return count_; }
+
+ private:
+  u64 count_ = 0;
+};
+
+}  // namespace scishuffle

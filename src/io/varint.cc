@@ -1,0 +1,81 @@
+#include "io/varint.h"
+
+#include <array>
+#include <limits>
+
+namespace scishuffle {
+
+void writeVLong(ByteSink& sink, i64 v) {
+  if (v >= -112 && v <= 127) {
+    sink.writeByte(static_cast<u8>(v));
+    return;
+  }
+  i32 len = -112;
+  u64 mag;
+  if (v < 0) {
+    mag = static_cast<u64>(~v);  // == -(v + 1), avoids overflow at INT64_MIN
+    len = -120;
+  } else {
+    mag = static_cast<u64>(v);
+  }
+  u64 tmp = mag;
+  while (tmp != 0) {
+    tmp >>= 8;
+    --len;
+  }
+  sink.writeByte(static_cast<u8>(len));
+  const int nbytes = (len < -120) ? -(len + 120) : -(len + 112);
+  for (int idx = nbytes - 1; idx >= 0; --idx) {
+    sink.writeByte(static_cast<u8>(mag >> (8 * idx)));
+  }
+}
+
+namespace {
+int decodeVLongSize(u8 first) {
+  const auto b = static_cast<i8>(first);
+  if (b >= -112) return 1;
+  if (b < -120) return -(b + 120) + 1;
+  return -(b + 112) + 1;
+}
+}  // namespace
+
+bool vlongFirstByteIsNegative(u8 b) {
+  const auto s = static_cast<i8>(b);
+  return s < -120 || (s >= -112 && s < 0);
+}
+
+i64 readVLong(ByteSource& source) {
+  const int first = source.readByte();
+  checkFormat(first >= 0, "EOF reading vlong");
+  const u8 fb = static_cast<u8>(first);
+  const int total = decodeVLongSize(fb);
+  if (total == 1) return static_cast<i8>(fb);
+  u64 mag = 0;
+  for (int idx = 0; idx < total - 1; ++idx) {
+    const int b = source.readByte();
+    checkFormat(b >= 0, "EOF inside vlong");
+    mag = (mag << 8) | static_cast<u64>(b);
+  }
+  const bool negative = static_cast<i8>(fb) < -120;
+  return negative ? static_cast<i64>(~mag) : static_cast<i64>(mag);
+}
+
+i32 readVInt(ByteSource& source) {
+  const i64 v = readVLong(source);
+  checkFormat(v >= std::numeric_limits<i32>::min() && v <= std::numeric_limits<i32>::max(),
+              "vint out of range");
+  return static_cast<i32>(v);
+}
+
+std::size_t vlongSize(i64 v) {
+  if (v >= -112 && v <= 127) return 1;
+  u64 mag = v < 0 ? static_cast<u64>(~v) : static_cast<u64>(v);
+  std::size_t n = 0;
+  while (mag != 0) {
+    mag >>= 8;
+    ++n;
+  }
+  return n + 1;
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,31 @@
+// Variable-length integer encoding with Hadoop WritableUtils semantics.
+//
+// This is the exact encoding Hadoop's IFile uses for record key/value lengths,
+// which is what gives intermediate files their "2 bytes of framing per small
+// record" overhead that the paper's Fig. 8 measures:
+//   * values in [-112, 127] occupy a single byte;
+//   * otherwise a prefix byte encodes sign and byte count, followed by the
+//     magnitude big-endian with leading zeros stripped.
+#pragma once
+
+#include "io/common.h"
+#include "io/streams.h"
+
+namespace scishuffle {
+
+/// Serializes v using Hadoop's writeVLong format.
+void writeVLong(ByteSink& sink, i64 v);
+inline void writeVInt(ByteSink& sink, i32 v) { writeVLong(sink, v); }
+
+/// Reads a value written by writeVLong. Throws FormatError at EOF/corruption.
+i64 readVLong(ByteSource& source);
+i32 readVInt(ByteSource& source);
+
+/// Number of bytes writeVLong would produce.
+std::size_t vlongSize(i64 v);
+
+/// True if b is the first byte of a negative vlong (used to spot IFile's
+/// end-of-file marker, which is the pair of lengths (-1, -1)).
+bool vlongFirstByteIsNegative(u8 b);
+
+}  // namespace scishuffle

@@ -1,0 +1,53 @@
+// Aggregate keys (§IV): a contiguous range of space-filling-curve indices,
+// per variable, standing for `count` simple keys whose values are packed in
+// curve order inside the record's value. Constant 28-byte serialization
+// regardless of how many cells it covers — the "(corner, size)" constant
+// overhead of §I, realized on the curve.
+//
+// Layout (all big-endian, var offset-binary) so that the engine's default
+// lexicographic byte order equals (var, start, count) order:
+//   [4B var][16B start index][8B count]
+#pragma once
+
+#include <vector>
+
+#include "hadoop/types.h"
+#include "sfc/curve.h"
+
+namespace scishuffle::scikey {
+
+struct AggregateKey {
+  i32 var = 0;
+  sfc::CurveIndex start = 0;
+  u64 count = 0;
+
+  sfc::CurveIndex end() const { return start + count; }
+
+  bool operator==(const AggregateKey&) const = default;
+};
+
+constexpr std::size_t kAggregateKeySize = 4 + 16 + 8;
+
+Bytes serializeAggregateKey(const AggregateKey& key);
+AggregateKey deserializeAggregateKey(ByteSpan data);
+
+/// Splits an aggregate record at curve index `at` (start < at < end): returns
+/// the two halves with the packed value blob divided proportionally.
+/// valueSize is the per-cell serialized value width.
+std::pair<hadoop::KeyValue, hadoop::KeyValue> splitAggregateRecord(const AggregateKey& key,
+                                                                   ByteSpan valueBlob,
+                                                                   sfc::CurveIndex at,
+                                                                   std::size_t valueSize);
+
+/// Router for aggregate-key jobs: partitions the curve index space
+/// [0, indexCount) into numPartitions contiguous chunks and splits any
+/// aggregate record straddling a chunk boundary (§IV-B case 1). Increments
+/// KEY_SPLITS_ROUTING on the supplied counters for every cut.
+hadoop::RouteFn aggregateRangeRouter(sfc::CurveIndex indexCount, std::size_t valueSize,
+                                     hadoop::Counters* counters);
+
+/// Range partition of a single index (used by the simple-key comparison jobs
+/// so both configurations route cells identically).
+int rangePartition(sfc::CurveIndex index, sfc::CurveIndex indexCount, int numPartitions);
+
+}  // namespace scishuffle::scikey

@@ -1,0 +1,86 @@
+#include "scikey/aggregator.h"
+
+#include <algorithm>
+
+namespace scishuffle::scikey {
+
+Aggregator::Aggregator(const CurveSpace& space, AggregatorConfig config, hadoop::EmitFn emit,
+                       hadoop::Counters* counters)
+    : space_(&space), config_(std::move(config)), emit_(std::move(emit)), counters_(counters) {
+  check(config_.value_size > 0, "value size must be positive");
+  check(config_.alignment >= 1, "alignment must be positive");
+}
+
+void Aggregator::add(i32 var, const grid::Coord& coord, ByteSpan value) {
+  check(value.size() == config_.value_size, "value width mismatch");
+  Entry e;
+  e.var = var;
+  e.index = space_->encode(coord);
+  e.valueOffset = static_cast<u32>(arena_.size());
+  arena_.insert(arena_.end(), value.begin(), value.end());
+  entries_.push_back(e);
+  if (arena_.size() + entries_.size() * sizeof(Entry) >= config_.flush_threshold_bytes) flush();
+}
+
+void Aggregator::flush() {
+  if (entries_.empty()) return;
+  if (counters_ != nullptr) counters_->add(hadoop::counter::kAggregateFlushes, 1);
+
+  // Stable sort by (var, index); duplicates of an index stay in insertion
+  // order and are assigned to layers 0..k-1.
+  std::stable_sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.var != b.var ? a.var < b.var : a.index < b.index;
+  });
+
+  // Per-layer open run: (key so far, packed values).
+  struct Run {
+    AggregateKey key;
+    Bytes blob;
+  };
+  std::vector<Run> layers;
+
+  auto closeRun = [&](Run& run) {
+    if (run.key.count == 0) return;
+    emit_(serializeAggregateKey(run.key), std::move(run.blob));
+    ++aggregatesEmitted_;
+    run.key.count = 0;
+    run.blob.clear();
+  };
+
+  auto appendToLayer = [&](std::size_t layer, i32 var, sfc::CurveIndex index, ByteSpan value) {
+    if (layer >= layers.size()) layers.resize(layer + 1);
+    Run& run = layers[layer];
+    const bool contiguous = run.key.count > 0 && run.key.var == var && run.key.end() == index;
+    const bool alignedCut =
+        config_.alignment > 1 &&
+        static_cast<u64>(index % static_cast<sfc::CurveIndex>(config_.alignment)) == 0;
+    if (!contiguous || alignedCut) {
+      closeRun(run);
+      run.key = AggregateKey{var, index, 0};
+    }
+    ++run.key.count;
+    run.blob.insert(run.blob.end(), value.begin(), value.end());
+  };
+
+  std::size_t i = 0;
+  while (i < entries_.size()) {
+    std::size_t j = i;
+    while (j < entries_.size() && entries_[j].var == entries_[i].var &&
+           entries_[j].index == entries_[i].index) {
+      ++j;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      appendToLayer(k - i, entries_[k].var, entries_[k].index,
+                    ByteSpan(arena_).subspan(entries_[k].valueOffset, config_.value_size));
+    }
+    // Layers beyond this multiplicity have gone non-contiguous; they will be
+    // closed lazily when appendToLayer sees the gap.
+    i = j;
+  }
+  for (Run& run : layers) closeRun(run);
+
+  entries_.clear();
+  arena_.clear();
+}
+
+}  // namespace scishuffle::scikey

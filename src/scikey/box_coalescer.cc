@@ -1,0 +1,57 @@
+#include "scikey/box_coalescer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace scishuffle::scikey {
+
+std::vector<grid::Box> coalesceCells(std::vector<grid::Coord> cells) {
+  if (cells.empty()) return {};
+  const int rank = static_cast<int>(cells.front().size());
+
+  std::sort(cells.begin(), cells.end());
+  check(std::adjacent_find(cells.begin(), cells.end()) == cells.end(),
+        "duplicate cells in box coalescing");
+  std::set<grid::Coord> remaining(cells.begin(), cells.end());
+
+  // True iff every cell of `box` is still uncovered.
+  auto allRemaining = [&](const grid::Box& box) {
+    bool ok = true;
+    box.forEachCell([&](const grid::Coord& c) {
+      if (ok && remaining.find(c) == remaining.end()) ok = false;
+    });
+    return ok;
+  };
+
+  std::vector<grid::Box> boxes;
+  while (!remaining.empty()) {
+    const grid::Coord seed = *remaining.begin();
+    grid::Box box = grid::Box::cell(seed);
+
+    // Grow greedily along each dimension in turn: extend the high face by
+    // one slab while the slab is fully present.
+    for (int d = 0; d < rank; ++d) {
+      for (;;) {
+        grid::Coord slabCorner = box.corner();
+        slabCorner[static_cast<std::size_t>(d)] = box.high(d);
+        std::vector<i64> slabSize = box.size();
+        slabSize[static_cast<std::size_t>(d)] = 1;
+        const grid::Box slab(slabCorner, slabSize);
+        if (!allRemaining(slab)) break;
+        std::vector<i64> grown = box.size();
+        ++grown[static_cast<std::size_t>(d)];
+        box = grid::Box(box.corner(), std::move(grown));
+      }
+    }
+
+    box.forEachCell([&](const grid::Coord& c) { remaining.erase(c); });
+    boxes.push_back(std::move(box));
+  }
+  return boxes;
+}
+
+std::size_t boxKeySize(int rank) {
+  return 4 + 2 * 8 * static_cast<std::size_t>(rank);
+}
+
+}  // namespace scishuffle::scikey

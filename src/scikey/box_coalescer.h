@@ -1,0 +1,29 @@
+// Greedy N-dimensional box coalescing — the aggregation the paper calls
+// "ideal" but difficult (Fig. 5: "Individual keys may join together in
+// multiple ways to form aggregate keys... We suspect (but have not proven)
+// that this is an NP-hard problem"), which motivated reducing to one
+// dimension with a space-filling curve instead.
+//
+// We implement the natural greedy heuristic as an extension so the trade-off
+// can be measured (bench_ablate_box_coalesce): pick the lexicographically
+// smallest uncovered cell, grow a box greedily one dimension at a time while
+// every cell in the grown slab is present and uncovered, repeat.
+#pragma once
+
+#include <vector>
+
+#include "grid/box.h"
+
+namespace scishuffle::scikey {
+
+/// Coalesces a set of cells into disjoint boxes covering exactly that set.
+/// Cells may be passed in any order; duplicates are an error. Greedy, not
+/// optimal (minimum box cover is the suspected-NP-hard part).
+std::vector<grid::Box> coalesceCells(std::vector<grid::Coord> cells);
+
+/// Serialized size of a (var, corner, size) box key: 4 + 2*8*rank bytes —
+/// the "(corner, size) pair" representation of §I. Used to compare key bytes
+/// against curve-range aggregate keys.
+std::size_t boxKeySize(int rank);
+
+}  // namespace scishuffle::scikey

@@ -1,0 +1,37 @@
+#include "scikey/curve_space.h"
+
+#include <vector>
+
+namespace scishuffle::scikey {
+
+CurveSpace::CurveSpace(sfc::CurveKind kind, const grid::Box& domain) : domain_(domain) {
+  check(domain.rank() >= 1, "empty domain");
+  i64 maxExtent = 1;
+  for (int d = 0; d < domain.rank(); ++d) {
+    maxExtent = std::max(maxExtent, domain.size()[static_cast<std::size_t>(d)]);
+  }
+  int bits = 1;
+  while ((i64{1} << bits) < maxExtent) ++bits;
+  curve_ = sfc::makeCurve(kind, domain.rank(), bits);
+}
+
+sfc::CurveIndex CurveSpace::encode(const grid::Coord& c) const {
+  check(domain_.contains(c), "coordinate outside curve domain");
+  std::vector<u32> lattice(c.size());
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    lattice[d] = static_cast<u32>(c[d] - domain_.corner()[d]);
+  }
+  return curve_->encode(lattice);
+}
+
+grid::Coord CurveSpace::decode(sfc::CurveIndex index) const {
+  std::vector<u32> lattice(static_cast<std::size_t>(domain_.rank()));
+  curve_->decode(index, lattice);
+  grid::Coord c(lattice.size());
+  for (std::size_t d = 0; d < lattice.size(); ++d) {
+    c[d] = static_cast<i64>(lattice[d]) + domain_.corner()[d];
+  }
+  return c;
+}
+
+}  // namespace scishuffle::scikey

@@ -1,0 +1,34 @@
+// CurveSpace: binds a space-filling curve to a concrete signed-coordinate
+// domain. Grid coordinates may be negative (sliding windows, §IV-C), while
+// curves index a non-negative power-of-two lattice; the space handles the
+// translation and sizes the curve to fit the domain.
+#pragma once
+
+#include <memory>
+
+#include "grid/box.h"
+#include "sfc/curve.h"
+
+namespace scishuffle::scikey {
+
+class CurveSpace {
+ public:
+  /// Builds a space whose lattice covers `domain` (every coordinate the job
+  /// may emit). The curve's bits-per-dim is the smallest power of two fit.
+  CurveSpace(sfc::CurveKind kind, const grid::Box& domain);
+
+  sfc::CurveIndex encode(const grid::Coord& c) const;
+  grid::Coord decode(sfc::CurveIndex index) const;
+
+  const grid::Box& domain() const { return domain_; }
+  const sfc::Curve& curve() const { return *curve_; }
+
+  /// One past the largest index the curve can produce (lattice, not domain).
+  sfc::CurveIndex indexCount() const { return curve_->indexCount(); }
+
+ private:
+  grid::Box domain_;
+  std::shared_ptr<const sfc::Curve> curve_;
+};
+
+}  // namespace scishuffle::scikey

@@ -1,0 +1,64 @@
+#include "scikey/input_planner.h"
+
+#include <algorithm>
+
+namespace scishuffle::scikey {
+
+namespace {
+
+std::vector<grid::Box> slabSplits(const grid::Box& domain, int numSplits) {
+  std::vector<grid::Box> splits;
+  const i64 extent = domain.size()[0];
+  const i64 per = (extent + numSplits - 1) / numSplits;
+  for (int m = 0; m < numSplits; ++m) {
+    const i64 lo = domain.low(0) + static_cast<i64>(m) * per;
+    const i64 hi = std::min(domain.high(0), lo + per);
+    if (lo >= hi) continue;
+    grid::Coord corner = domain.corner();
+    corner[0] = lo;
+    std::vector<i64> size = domain.size();
+    size[0] = hi - lo;
+    splits.emplace_back(std::move(corner), std::move(size));
+  }
+  return splits;
+}
+
+std::vector<grid::Box> bisectSplits(const grid::Box& domain, int numSplits) {
+  std::vector<grid::Box> splits = {domain};
+  while (static_cast<int>(splits.size()) < numSplits) {
+    // Split the largest box along its widest dimension.
+    const auto largest = std::max_element(
+        splits.begin(), splits.end(),
+        [](const grid::Box& a, const grid::Box& b) { return a.volume() < b.volume(); });
+    int widest = 0;
+    for (int d = 1; d < largest->rank(); ++d) {
+      if (largest->size()[static_cast<std::size_t>(d)] >
+          largest->size()[static_cast<std::size_t>(widest)]) {
+        widest = d;
+      }
+    }
+    if (largest->size()[static_cast<std::size_t>(widest)] < 2) break;  // nothing splittable
+    const i64 mid = largest->low(widest) + largest->size()[static_cast<std::size_t>(widest)] / 2;
+    auto [lo, hi] = largest->splitAt(widest, mid);
+    *largest = std::move(lo);
+    splits.push_back(std::move(hi));
+  }
+  return splits;
+}
+
+}  // namespace
+
+std::vector<grid::Box> planInputSplits(const grid::Box& domain, int numSplits,
+                                       SplitStrategy strategy) {
+  check(numSplits >= 1, "need at least one split");
+  check(!domain.empty(), "cannot split an empty domain");
+  switch (strategy) {
+    case SplitStrategy::kSlabs:
+      return slabSplits(domain, numSplits);
+    case SplitStrategy::kRecursiveBisect:
+      return bisectSplits(domain, numSplits);
+  }
+  throw std::logic_error("unreachable split strategy");
+}
+
+}  // namespace scishuffle::scikey

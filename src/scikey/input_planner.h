@@ -1,0 +1,28 @@
+// Input-split planning: how a query's domain is carved into per-mapper
+// boxes. SciHadoop's partitioner aligns logical partitions with physical
+// chunks; here the knob that matters for key compression is the *shape* of
+// each mapper's slab — compact splits put each mapper's emissions on fewer
+// space-filling-curve runs (more aggregation, fewer routing splits) than the
+// default 1-D slabs.
+#pragma once
+
+#include <vector>
+
+#include "grid/box.h"
+
+namespace scishuffle::scikey {
+
+enum class SplitStrategy {
+  /// Contiguous slabs along dimension 0 (Hadoop's default byte-range split
+  /// of a row-major file).
+  kSlabs,
+  /// Recursive bisection of the widest dimension: near-cubical splits.
+  kRecursiveBisect,
+};
+
+/// Partitions `domain` into at most `numSplits` disjoint boxes covering it
+/// exactly. Returned boxes are non-empty.
+std::vector<grid::Box> planInputSplits(const grid::Box& domain, int numSplits,
+                                       SplitStrategy strategy);
+
+}  // namespace scishuffle::scikey

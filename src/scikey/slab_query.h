@@ -1,0 +1,46 @@
+// Slab-reduction queries: reduce a grid variable along a subset of its
+// dimensions (e.g. "average windspeed over z for every (x, y)") — the other
+// canonical SciHadoop workload family besides sliding windows. The key
+// distribution is very different: every input cell maps to exactly one
+// *projected* output cell (many-to-one, no overlap), so aggregate keys never
+// need overlap splitting and combiners shine for algebraic ops.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "grid/dataset.h"
+#include "scikey/sliding_query.h"
+
+namespace scishuffle::scikey {
+
+struct SlabQueryConfig {
+  /// Dimensions to reduce away (must be a non-empty strict subset of the
+  /// input's dimensions).
+  std::vector<int> reduced_dims;
+
+  CellOp op = CellOp::kSum;
+  int num_mappers = 4;
+  sfc::CurveKind curve = sfc::CurveKind::kZOrder;
+  SplitStrategy split_strategy = SplitStrategy::kSlabs;
+  std::size_t flush_threshold_bytes = 8u << 20;
+  bool use_combiner = false;  // algebraic ops only
+};
+
+/// Output rank = input rank - reduced dims; a key's coordinates are the
+/// surviving dimensions in their original order.
+std::vector<int> keptDims(int rank, const std::vector<int>& reducedDims);
+
+/// Simple per-point-key configuration of the slab query.
+PreparedJob buildSimpleSlabJob(const grid::Variable& input, const SlabQueryConfig& config,
+                               hadoop::JobConfig base);
+
+/// Aggregate-key configuration.
+PreparedJob buildAggregateSlabJob(const grid::Variable& input, const SlabQueryConfig& config,
+                                  hadoop::JobConfig base);
+
+/// Serial oracle over the projected domain.
+std::map<grid::Coord, i32> slabOracle(const grid::Variable& input, const SlabQueryConfig& config);
+
+}  // namespace scishuffle::scikey

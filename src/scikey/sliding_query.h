@@ -1,0 +1,98 @@
+// The paper's flagship workload (§IV-C): a sliding-window median over a grid
+// of integers, built in both configurations the cluster experiments compare:
+//   * simple per-point keys (SciHadoop baseline; optionally with an
+//     intermediate codec — §III-E), and
+//   * aggregate keys via the Aggregator/AggregateGrouper machinery (§IV-D).
+//
+// Both produce identical logical results; tests verify this cell-for-cell
+// against a serial oracle.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "grid/dataset.h"
+#include "hadoop/runtime.h"
+#include "scikey/aggregator.h"
+#include "scikey/cellwise.h"
+#include "scikey/curve_space.h"
+#include "scikey/input_planner.h"
+
+namespace scishuffle::scikey {
+
+struct SlidingQueryConfig {
+  /// Window half-width: radius 1 = the paper's 3x3 rectangle.
+  int window_radius = 1;
+
+  /// Input splits: the domain is sliced along dimension 0, one per mapper.
+  int num_mappers = 4;
+
+  CellOp op = CellOp::kMedian;
+
+  sfc::CurveKind curve = sfc::CurveKind::kZOrder;
+
+  /// Aggregation buffer flush threshold (§IV-A memory bound).
+  std::size_t flush_threshold_bytes = 8u << 20;
+
+  /// §IV-C alignment experiment knob (1 = off).
+  u64 alignment = 1;
+
+  /// §IV-B extension: re-aggregate contiguous reduce outputs to offset the
+  /// key-count increase caused by key splitting.
+  bool reaggregate_output = false;
+
+  /// How the input domain is carved into mapper splits (slab vs compact).
+  SplitStrategy split_strategy = SplitStrategy::kSlabs;
+
+  /// Run a combiner for algebraic cell ops. SciHadoop's distinction applies:
+  /// sum is algebraic and combines safely; median is holistic and cannot —
+  /// requesting a combiner with kMedian is a configuration error.
+  bool use_combiner = false;
+};
+
+/// A ready-to-run job: tasks + reduce + engine config wired together.
+/// `routing_counters` collects the router-side key-split counts (the router
+/// runs inside the engine, before task counters exist).
+struct PreparedJob {
+  std::vector<hadoop::MapTask> map_tasks;
+  hadoop::ReduceFn reduce;
+  hadoop::JobConfig job;
+  std::shared_ptr<hadoop::Counters> routing_counters;
+  std::shared_ptr<CurveSpace> space;
+};
+
+/// Simple-key configuration. `base` supplies cluster-ish knobs (reducers,
+/// slots, codec); the builder installs the grid-aware router and key order.
+PreparedJob buildSimpleSlidingJob(const grid::Variable& input, const SlidingQueryConfig& config,
+                                  hadoop::JobConfig base);
+
+/// Aggregate-key configuration (router splits at partition boundaries,
+/// grouper splits overlaps, reduce runs cellwise).
+PreparedJob buildAggregateSlidingJob(const grid::Variable& input, const SlidingQueryConfig& config,
+                                     hadoop::JobConfig base);
+
+/// Multi-variable variant: one job runs the sliding query over several int32
+/// variables of a dataset at once. Keys carry the variable index, so the
+/// aggregation machinery keeps variables apart end-to-end (the paper's §III
+/// notes multiple variables complicate byte-stride choices; aggregate keys
+/// handle them for free). Variables must share rank but may differ in shape;
+/// the curve space covers the union of their output domains.
+PreparedJob buildAggregateMultiVariableSlidingJob(const grid::Dataset& dataset,
+                                                  const std::vector<std::string>& variables,
+                                                  const SlidingQueryConfig& config,
+                                                  hadoop::JobConfig base);
+
+/// Serial oracle: coordinate -> reduced value over the full output domain.
+std::map<grid::Coord, i32> slidingOracle(const grid::Variable& input,
+                                         const SlidingQueryConfig& config);
+
+/// (variable index, coordinate) -> value, for multi-variable jobs.
+std::map<std::pair<int, grid::Coord>, i32> flattenMultiVariableOutputs(
+    const hadoop::JobResult& result, const CurveSpace& space);
+
+/// Flattens job output (either configuration) into coordinate -> value.
+std::map<grid::Coord, i32> flattenSimpleOutputs(const hadoop::JobResult& result, int rank);
+std::map<grid::Coord, i32> flattenAggregateOutputs(const hadoop::JobResult& result,
+                                                   const CurveSpace& space);
+
+}  // namespace scishuffle::scikey

@@ -1,0 +1,61 @@
+#include "sfc/clustering.h"
+
+#include <algorithm>
+#include <random>
+
+namespace scishuffle::sfc {
+
+std::vector<IndexRange> rangesForBox(const Curve& curve, std::span<const u32> corner,
+                                     std::span<const u32> size) {
+  const int dims = curve.dims();
+  check(static_cast<int>(corner.size()) == dims && static_cast<int>(size.size()) == dims,
+        "box dimensionality mismatch");
+  u64 volume = 1;
+  for (const u32 s : size) volume *= s;
+  if (volume == 0) return {};
+
+  std::vector<CurveIndex> indices;
+  indices.reserve(volume);
+  std::vector<u32> coord(corner.begin(), corner.end());
+  for (u64 cell = 0; cell < volume; ++cell) {
+    indices.push_back(curve.encode(coord));
+    // Odometer increment, last dimension fastest.
+    for (int d = dims - 1; d >= 0; --d) {
+      auto& c = coord[static_cast<std::size_t>(d)];
+      if (++c < corner[static_cast<std::size_t>(d)] + size[static_cast<std::size_t>(d)]) break;
+      c = corner[static_cast<std::size_t>(d)];
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+
+  std::vector<IndexRange> ranges;
+  for (const CurveIndex idx : indices) {
+    if (!ranges.empty() && ranges.back().last == idx) {
+      ++ranges.back().last;
+    } else {
+      ranges.push_back({idx, idx + 1});
+    }
+  }
+  return ranges;
+}
+
+double meanClusterCount(const Curve& curve, std::span<const u32> boxSize, int samples, u32 seed) {
+  const int dims = curve.dims();
+  check(static_cast<int>(boxSize.size()) == dims, "box dimensionality mismatch");
+  std::mt19937 rng(seed);
+  const u32 extent = u32{1} << curve.bitsPerDim();
+
+  u64 totalRuns = 0;
+  std::vector<u32> corner(static_cast<std::size_t>(dims));
+  for (int k = 0; k < samples; ++k) {
+    for (int d = 0; d < dims; ++d) {
+      const u32 room = extent - boxSize[static_cast<std::size_t>(d)];
+      std::uniform_int_distribution<u32> dist(0, room);
+      corner[static_cast<std::size_t>(d)] = dist(rng);
+    }
+    totalRuns += rangesForBox(curve, corner, boxSize).size();
+  }
+  return static_cast<double>(totalRuns) / static_cast<double>(samples);
+}
+
+}  // namespace scishuffle::sfc

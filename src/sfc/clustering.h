@@ -1,0 +1,33 @@
+// Clustering analysis for space-filling curves (Moon et al., TKDE 2001):
+// for a query box, the number of contiguous curve-index runs covering the
+// box's cells. Fewer runs = better clustering = fewer aggregate keys after
+// coalescing (§IV-A's reason to consider Hilbert over Z-order).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sfc/curve.h"
+
+namespace scishuffle::sfc {
+
+/// Half-open index range [first, last).
+struct IndexRange {
+  CurveIndex first = 0;
+  CurveIndex last = 0;
+
+  bool operator==(const IndexRange&) const = default;
+};
+
+/// Enumerates every cell of the box `corner + [0,size)` (per dimension),
+/// maps it through the curve, and coalesces the sorted indices into
+/// contiguous ranges. Cost is O(volume log volume); intended for analysis
+/// and tests, not the hot aggregation path.
+std::vector<IndexRange> rangesForBox(const Curve& curve, std::span<const u32> corner,
+                                     std::span<const u32> size);
+
+/// Moon et al.'s clustering metric: the mean number of runs over a set of
+/// random query boxes of a given size within a 2^bits-per-dim cube.
+double meanClusterCount(const Curve& curve, std::span<const u32> boxSize, int samples, u32 seed);
+
+}  // namespace scishuffle::sfc

@@ -1,0 +1,43 @@
+#include "sfc/gray.h"
+
+namespace scishuffle::sfc {
+
+namespace {
+
+/// g = binaryToGray(i) = i ^ (i >> 1); this is the inverse.
+CurveIndex grayToBinary(CurveIndex g) {
+  CurveIndex b = g;
+  for (int shift = 1; shift < 128; shift <<= 1) b ^= b >> shift;
+  return b;
+}
+
+}  // namespace
+
+CurveIndex GrayCurve::encode(std::span<const u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  // Interleave exactly like Z-order (dimension 0 in the LSB lane)...
+  CurveIndex interleaved = 0;
+  for (int b = bits_ - 1; b >= 0; --b) {
+    for (int d = dims_ - 1; d >= 0; --d) {
+      interleaved = (interleaved << 1) | ((coords[static_cast<std::size_t>(d)] >> b) & 1u);
+    }
+  }
+  // ...then the cell's position along the curve is the Gray rank of that
+  // interleaved word: the cell with interleaved bits g is visited at step i
+  // where g = i ^ (i >> 1).
+  return grayToBinary(interleaved);
+}
+
+void GrayCurve::decode(CurveIndex index, std::span<u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  const CurveIndex interleaved = index ^ (index >> 1);
+  for (int d = 0; d < dims_; ++d) coords[static_cast<std::size_t>(d)] = 0;
+  for (int b = 0; b < bits_; ++b) {
+    for (int d = 0; d < dims_; ++d) {
+      coords[static_cast<std::size_t>(d)] |=
+          static_cast<u32>((interleaved >> (b * dims_ + d)) & 1u) << b;
+    }
+  }
+}
+
+}  // namespace scishuffle::sfc

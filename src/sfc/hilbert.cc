@@ -1,0 +1,93 @@
+#include "sfc/hilbert.h"
+
+#include <vector>
+
+namespace scishuffle::sfc {
+
+namespace {
+
+/// Skilling: in-place conversion of axis coordinates to the "transposed"
+/// Hilbert representation.
+void axesToTranspose(std::vector<u32>& x, int bits, int dims) {
+  const u32 m = u32{1} << (bits - 1);
+  // Inverse undo.
+  for (u32 q = m; q > 1; q >>= 1) {
+    const u32 p = q - 1;
+    for (int i = 0; i < dims; ++i) {
+      auto& xi = x[static_cast<std::size_t>(i)];
+      if (xi & q) {
+        x[0] ^= p;
+      } else {
+        const u32 t = (x[0] ^ xi) & p;
+        x[0] ^= t;
+        xi ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < dims; ++i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i) - 1];
+  }
+  u32 t = 0;
+  for (u32 q = m; q > 1; q >>= 1) {
+    if (x[static_cast<std::size_t>(dims) - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dims; ++i) x[static_cast<std::size_t>(i)] ^= t;
+}
+
+/// Skilling: inverse of axesToTranspose.
+void transposeToAxes(std::vector<u32>& x, int bits, int dims) {
+  const u32 n = u32{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  u32 t = x[static_cast<std::size_t>(dims) - 1] >> 1;
+  for (int i = dims - 1; i > 0; --i) {
+    x[static_cast<std::size_t>(i)] ^= x[static_cast<std::size_t>(i) - 1];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (u32 q = 2; q != n; q <<= 1) {
+    const u32 p = q - 1;
+    for (int i = dims - 1; i >= 0; --i) {
+      auto& xi = x[static_cast<std::size_t>(i)];
+      if (xi & q) {
+        x[0] ^= p;
+      } else {
+        const u32 t2 = (x[0] ^ xi) & p;
+        x[0] ^= t2;
+        xi ^= t2;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CurveIndex HilbertCurve::encode(std::span<const u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  std::vector<u32> x(coords.begin(), coords.end());
+  axesToTranspose(x, bits_, dims_);
+  // Interleave the transposed form MSB-first: bit (b-1) of x[0] is the MSB.
+  CurveIndex index = 0;
+  for (int b = bits_ - 1; b >= 0; --b) {
+    for (int d = 0; d < dims_; ++d) {
+      index = (index << 1) | ((x[static_cast<std::size_t>(d)] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+void HilbertCurve::decode(CurveIndex index, std::span<u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  std::vector<u32> x(static_cast<std::size_t>(dims_), 0);
+  int shift = dims_ * bits_ - 1;
+  for (int b = bits_ - 1; b >= 0; --b) {
+    for (int d = 0; d < dims_; ++d) {
+      x[static_cast<std::size_t>(d)] |= static_cast<u32>((index >> shift) & 1u) << b;
+      --shift;
+    }
+  }
+  transposeToAxes(x, bits_, dims_);
+  for (int d = 0; d < dims_; ++d) coords[static_cast<std::size_t>(d)] = x[static_cast<std::size_t>(d)];
+}
+
+}  // namespace scishuffle::sfc

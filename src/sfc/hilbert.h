@@ -1,0 +1,18 @@
+// Hilbert curve in N dimensions via Skilling's transpose algorithm
+// (AIP Conf. Proc. 707, 2004): converts between Hilbert "transposed" form and
+// ordinary coordinates with O(dims * bits) bit operations.
+#pragma once
+
+#include "sfc/curve.h"
+
+namespace scishuffle::sfc {
+
+class HilbertCurve final : public Curve {
+ public:
+  using Curve::Curve;
+  std::string name() const override { return "hilbert"; }
+  CurveIndex encode(std::span<const u32> coords) const override;
+  void decode(CurveIndex index, std::span<u32> coords) const override;
+};
+
+}  // namespace scishuffle::sfc

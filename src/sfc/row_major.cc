@@ -1,0 +1,23 @@
+#include "sfc/row_major.h"
+
+namespace scishuffle::sfc {
+
+CurveIndex RowMajorCurve::encode(std::span<const u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  CurveIndex index = 0;
+  for (int d = 0; d < dims_; ++d) {
+    index = (index << bits_) | coords[static_cast<std::size_t>(d)];
+  }
+  return index;
+}
+
+void RowMajorCurve::decode(CurveIndex index, std::span<u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  const CurveIndex mask = (CurveIndex{1} << bits_) - 1;
+  for (int d = dims_ - 1; d >= 0; --d) {
+    coords[static_cast<std::size_t>(d)] = static_cast<u32>(index & mask);
+    index >>= bits_;
+  }
+}
+
+}  // namespace scishuffle::sfc

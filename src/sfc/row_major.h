@@ -1,0 +1,18 @@
+// Row-major "curve": the trivial linearization, used as the clustering
+// baseline in the curve ablation (it aggregates perfectly along the last
+// dimension and terribly across it).
+#pragma once
+
+#include "sfc/curve.h"
+
+namespace scishuffle::sfc {
+
+class RowMajorCurve final : public Curve {
+ public:
+  using Curve::Curve;
+  std::string name() const override { return "rowmajor"; }
+  CurveIndex encode(std::span<const u32> coords) const override;
+  void decode(CurveIndex index, std::span<u32> coords) const override;
+};
+
+}  // namespace scishuffle::sfc

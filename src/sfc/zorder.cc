@@ -1,0 +1,29 @@
+#include "sfc/zorder.h"
+
+namespace scishuffle::sfc {
+
+CurveIndex ZOrderCurve::encode(std::span<const u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  CurveIndex index = 0;
+  // Bit b of dimension d lands at position b*dims + d; dimension 0 owns the
+  // least significant lane so that (x) in 1-D degenerates to identity.
+  for (int b = bits_ - 1; b >= 0; --b) {
+    for (int d = dims_ - 1; d >= 0; --d) {
+      index = (index << 1) | ((coords[static_cast<std::size_t>(d)] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+void ZOrderCurve::decode(CurveIndex index, std::span<u32> coords) const {
+  check(static_cast<int>(coords.size()) == dims_, "coord dimensionality mismatch");
+  for (int d = 0; d < dims_; ++d) coords[static_cast<std::size_t>(d)] = 0;
+  for (int b = 0; b < bits_; ++b) {
+    for (int d = 0; d < dims_; ++d) {
+      coords[static_cast<std::size_t>(d)] |=
+          static_cast<u32>((index >> (b * dims_ + d)) & 1u) << b;
+    }
+  }
+}
+
+}  // namespace scishuffle::sfc

@@ -1,0 +1,16 @@
+// Z-order (Morton) curve: bit interleaving across dimensions.
+#pragma once
+
+#include "sfc/curve.h"
+
+namespace scishuffle::sfc {
+
+class ZOrderCurve final : public Curve {
+ public:
+  using Curve::Curve;
+  std::string name() const override { return "zorder"; }
+  CurveIndex encode(std::span<const u32> coords) const override;
+  void decode(CurveIndex index, std::span<u32> coords) const override;
+};
+
+}  // namespace scishuffle::sfc

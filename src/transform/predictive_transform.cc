@@ -1,0 +1,66 @@
+#include "transform/predictive_transform.h"
+
+namespace scishuffle::transform {
+
+namespace {
+constexpr std::size_t kChunk = 64 * 1024;
+}
+
+void PredictiveTransform::forward(ByteSource& in, ByteSink& out) const {
+  StrideModel model(config_);
+  Bytes inBuf(kChunk);
+  Bytes outBuf;
+  outBuf.reserve(kChunk);
+  for (;;) {
+    const std::size_t n = in.read(MutableByteSpan(inBuf.data(), inBuf.size()));
+    if (n == 0) break;
+    outBuf.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const u8 x = inBuf[i];
+      const auto prediction = model.predict();
+      outBuf.push_back(prediction ? static_cast<u8>(x - *prediction) : x);
+      model.consume(x);
+    }
+    out.write(outBuf);
+  }
+}
+
+void PredictiveTransform::inverse(ByteSource& in, ByteSink& out) const {
+  StrideModel model(config_);
+  Bytes inBuf(kChunk);
+  Bytes outBuf;
+  outBuf.reserve(kChunk);
+  for (;;) {
+    const std::size_t n = in.read(MutableByteSpan(inBuf.data(), inBuf.size()));
+    if (n == 0) break;
+    outBuf.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const u8 y = inBuf[i];
+      const auto prediction = model.predict();
+      const u8 x = prediction ? static_cast<u8>(y + *prediction) : y;
+      outBuf.push_back(x);
+      model.consume(x);
+    }
+    out.write(outBuf);
+  }
+}
+
+Bytes PredictiveTransform::forward(ByteSpan data) const {
+  MemorySource in(data);
+  Bytes out;
+  out.reserve(data.size());
+  MemorySink sink(out);
+  forward(in, sink);
+  return out;
+}
+
+Bytes PredictiveTransform::inverse(ByteSpan data) const {
+  MemorySource in(data);
+  Bytes out;
+  out.reserve(data.size());
+  MemorySink sink(out);
+  inverse(in, sink);
+  return out;
+}
+
+}  // namespace scishuffle::transform

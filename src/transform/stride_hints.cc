@@ -1,0 +1,31 @@
+#include "transform/stride_hints.h"
+
+#include "io/primitives.h"
+
+namespace scishuffle::transform {
+
+std::size_t recordLengthForKeyStream(std::size_t varNameLength, bool nameMode, int rank,
+                                     std::size_t valueSize) {
+  const std::size_t varPart =
+      nameMode ? vlongSize(static_cast<i64>(varNameLength)) + varNameLength : 4;
+  return varPart + 4 * static_cast<std::size_t>(rank) + valueSize;
+}
+
+std::size_t recordLengthInIFile(std::size_t keyLength, std::size_t valueSize) {
+  return vlongSize(static_cast<i64>(keyLength)) + vlongSize(static_cast<i64>(valueSize)) +
+         keyLength + valueSize;
+}
+
+TransformConfig configFromMetadata(std::size_t recordLength, int multiples) {
+  check(recordLength >= 1, "record length must be positive");
+  check(multiples >= 1, "need at least one stride");
+  TransformConfig config;
+  config.adaptive = false;  // the metadata already told us what to look for
+  config.explicit_strides.reserve(static_cast<std::size_t>(multiples));
+  for (int k = 1; k <= multiples; ++k) {
+    config.explicit_strides.push_back(static_cast<int>(recordLength) * k);
+  }
+  return config;
+}
+
+}  // namespace scishuffle::transform

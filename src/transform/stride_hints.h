@@ -1,0 +1,34 @@
+// Metadata-derived stride hints (§III): "Another method of determining
+// stride length would be to derive it from metadata. This would include the
+// dimensionality of the data, the length of the variable name, and the shape
+// of the data."
+//
+// Given how SciHadoop serializes records, the useful strides are the record
+// length and its small multiples (Fig. 2's s = 47 was exactly one record).
+// These helpers compute that record length from key metadata and build a
+// TransformConfig whose explicit stride set contains the first few
+// multiples, skipping detection warm-up entirely.
+#pragma once
+
+#include <cstddef>
+
+#include "transform/stride_model.h"
+
+namespace scishuffle::transform {
+
+/// Serialized record length for a simple grid key stream:
+///   [Text(varName) | i32 index] + rank * i32 coords + value.
+/// Matches scikey's serialization and hadoop's Writable encodings.
+std::size_t recordLengthForKeyStream(std::size_t varNameLength, bool nameMode, int rank,
+                                     std::size_t valueSize);
+
+/// Per-record framing adds to the stride when the stream is an IFile payload
+/// (2 bytes of vint lengths for small records).
+std::size_t recordLengthInIFile(std::size_t keyLength, std::size_t valueSize);
+
+/// Builds a transform configuration seeded with `multiples` multiples of the
+/// record length as the full stride set (no adaptive detection needed — the
+/// user "specified" the stride from metadata, per §III).
+TransformConfig configFromMetadata(std::size_t recordLength, int multiples = 4);
+
+}  // namespace scishuffle::transform

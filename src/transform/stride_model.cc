@@ -1,0 +1,138 @@
+#include "transform/stride_model.h"
+
+#include <algorithm>
+
+namespace scishuffle::transform {
+
+StrideModel::StrideModel(const TransformConfig& config) : config_(config) {
+  check(config_.selection_cycle_bytes >= 1, "selection cycle must be positive");
+  if (config_.explicit_strides.empty()) {
+    check(config_.max_stride >= 1, "max_stride must be positive");
+    fullSet_.resize(static_cast<std::size_t>(config_.max_stride));
+    for (int s = 1; s <= config_.max_stride; ++s) {
+      fullSet_[static_cast<std::size_t>(s) - 1] = s;
+    }
+  } else {
+    fullSet_ = config_.explicit_strides;
+    std::sort(fullSet_.begin(), fullSet_.end());
+    fullSet_.erase(std::unique(fullSet_.begin(), fullSet_.end()), fullSet_.end());
+    check(fullSet_.front() >= 1, "strides must be positive");
+  }
+  const int maxStride = fullSet_.back();
+
+  // sequences_ is laid out stride-major: stride s owns s slots (one per
+  // phase); strides outside the full set get no storage.
+  seqBase_.assign(static_cast<std::size_t>(maxStride) + 1, 0);
+  std::size_t base = 0;
+  for (const int s : fullSet_) {
+    seqBase_[static_cast<std::size_t>(s)] = base;
+    base += static_cast<std::size_t>(s);
+  }
+  sequences_.assign(base, Sequence{});
+  strides_.assign(static_cast<std::size_t>(maxStride) + 1, Stride{});
+  history_.assign(static_cast<std::size_t>(maxStride), 0);
+
+  // "The active set is initialized to be the full set."
+  activeList_ = fullSet_;
+}
+
+std::optional<u8> StrideModel::predict() const {
+  u32 bestRun = 0;
+  u8 bestPrediction = 0;
+  for (const int s : activeList_) {
+    const auto stride = static_cast<u64>(s);
+    if (offset_ < stride) continue;
+    const Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + offset_ % stride];
+    if (!seq.seeded) continue;
+    if (seq.run > bestRun) {
+      bestRun = seq.run;
+      bestPrediction = static_cast<u8>(historyAt(offset_ - stride) + seq.delta);
+    }
+  }
+  if (bestRun > static_cast<u32>(config_.run_length_threshold)) return bestPrediction;
+  return std::nullopt;
+}
+
+void StrideModel::consume(u8 original) {
+  for (std::size_t idx = 0; idx < activeList_.size();) {
+    const int s = activeList_[idx];
+    const auto strideLen = static_cast<u64>(s);
+    Stride& stride = strides_[static_cast<std::size_t>(s)];
+    if (offset_ >= strideLen) {
+      const u8 prev = historyAt(offset_ - strideLen);
+      Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + offset_ % strideLen];
+      if (!seq.seeded) {
+        seq.seeded = true;
+        seq.delta = static_cast<u8>(original - prev);
+        seq.run = 0;
+      } else {
+        ++stride.predictions;
+        if (static_cast<u8>(prev + seq.delta) == original) {
+          ++seq.run;
+          ++stride.hits;
+        } else {
+          seq.delta = static_cast<u8>(original - prev);
+          seq.run = 0;
+        }
+      }
+      // Eviction (§III-A): hit rate below the threshold once the stride has
+      // been active for at least eviction_warmup_strides * s bytes.
+      if (config_.adaptive &&
+          offset_ - stride.activatedAt >=
+              static_cast<u64>(config_.eviction_warmup_strides) * strideLen &&
+          stride.predictions > 0 &&
+          static_cast<double>(stride.hits) <
+              config_.eviction_hit_rate * static_cast<double>(stride.predictions)) {
+        stride.deactivatedCycle = offset_ / static_cast<u64>(config_.selection_cycle_bytes);
+        activeList_[idx] = activeList_.back();
+        activeList_.pop_back();
+        continue;  // re-examine the element swapped into idx
+      }
+    }
+    ++idx;
+  }
+
+  history_[offset_ % history_.size()] = original;
+  ++offset_;
+  maybeRotateActiveSet();
+}
+
+void StrideModel::maybeRotateActiveSet() {
+  if (!config_.adaptive) return;
+  if (offset_ % static_cast<u64>(config_.selection_cycle_bytes) != 0) return;
+  if (activeList_.size() == fullSet_.size()) return;
+  const u64 cycle = offset_ / static_cast<u64>(config_.selection_cycle_bytes);
+
+  // Mark current members so the scan below can skip them cheaply.
+  std::vector<bool> active(strides_.size(), false);
+  for (const int s : activeList_) active[static_cast<std::size_t>(s)] = true;
+
+  // Pick the eligible inactive stride that has been out the longest. A stride
+  // of s is eligible only once every s cycles, balancing the fact that big
+  // strides take at least 2s bytes to be evicted again.
+  int chosen = 0;
+  u64 oldest = ~u64{0};
+  for (const int s : fullSet_) {
+    if (active[static_cast<std::size_t>(s)]) continue;
+    const Stride& stride = strides_[static_cast<std::size_t>(s)];
+    if (cycle - stride.lastEligibleCycle < static_cast<u64>(s)) continue;
+    if (stride.deactivatedCycle < oldest) {
+      oldest = stride.deactivatedCycle;
+      chosen = s;
+    }
+  }
+  if (chosen == 0) return;
+
+  Stride& stride = strides_[static_cast<std::size_t>(chosen)];
+  stride.hits = 0;
+  stride.predictions = 0;
+  stride.activatedAt = offset_;
+  stride.lastEligibleCycle = cycle;
+  activeList_.push_back(chosen);
+  // Sequence state from the previous activation is stale; restart detection.
+  const auto begin =
+      sequences_.begin() + static_cast<std::ptrdiff_t>(seqBase_[static_cast<std::size_t>(chosen)]);
+  std::fill(begin, begin + chosen, Sequence{});
+}
+
+}  // namespace scishuffle::transform

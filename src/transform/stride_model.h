@@ -1,0 +1,103 @@
+// The linear-sequence model of §III: a *sequence* is identified by a stride s
+// and a phase φ (= byte offset mod s) and carries a difference δ such that
+//     x[φ + k·s] = x[φ + (k-1)·s] + δ                                  (eq. 1)
+// for most k. Per sequence we track δ and the run length (number of
+// consecutive correct predictions); per stride we track aggregate hit rate.
+//
+// StrideModel holds this state plus the bounded history window needed to
+// evaluate x[i - s]. It is shared verbatim by the forward and inverse
+// transforms: both drive it with the *original* bytes, which is what makes
+// the transform invertible (§III-C).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::transform {
+
+/// Tunables from §III; defaults are the constants the paper quotes.
+struct TransformConfig {
+  /// Largest stride in the full set ("every stride less than the configured
+  /// maximum" — strides 1..max_stride inclusive here).
+  int max_stride = 100;
+
+  /// When non-empty, overrides max_stride: the full set is exactly these
+  /// strides. Used for the paper's "manually specified stride" comparison
+  /// (e.g. a single stride of 12) and for restricted brute-force runs.
+  std::vector<int> explicit_strides;
+
+  /// A prediction is emitted only if the best run length exceeds this
+  /// ("currently 2 in the code").
+  int run_length_threshold = 2;
+
+  /// A stride is evicted from the active set when its hit rate drops below
+  /// this ("currently 5/6 in the code")...
+  double eviction_hit_rate = 5.0 / 6.0;
+
+  /// ...but only after it has been active for at least this multiple of s
+  /// bytes ("the 2s requirement is tunable").
+  int eviction_warmup_strides = 2;
+
+  /// One stride is re-admitted to the active set every this many bytes
+  /// ("every 256 bytes (one selection cycle)").
+  int selection_cycle_bytes = 256;
+
+  /// When false, every stride stays active forever: the brute-force detector
+  /// §III-A compares against (4x slower at max_stride 100, 17x at 1000).
+  bool adaptive = true;
+};
+
+class StrideModel {
+ public:
+  explicit StrideModel(const TransformConfig& config);
+
+  /// Best prediction for the byte at the current offset, or nullopt if no
+  /// active sequence has run length above the threshold (§III-B).
+  std::optional<u8> predict() const;
+
+  /// Advances the model by one original-stream byte: updates every active
+  /// sequence's δ/run/hit state, runs evictions, and on selection-cycle
+  /// boundaries re-admits an eligible stride (§III-A).
+  void consume(u8 original);
+
+  u64 offset() const { return offset_; }
+
+  /// Number of strides currently in the active set (observability for tests
+  /// and the ablation benches).
+  int activeCount() const { return static_cast<int>(activeList_.size()); }
+
+  /// Snapshot of the active strides (unordered).
+  const std::vector<int>& activeStrides() const { return activeList_; }
+
+ private:
+  struct Sequence {
+    u8 delta = 0;
+    bool seeded = false;  // becomes true once x[i-s] existed
+    u32 run = 0;
+  };
+
+  struct Stride {
+    u64 hits = 0;
+    u64 predictions = 0;
+    u64 activatedAt = 0;       // byte offset when (re)admitted
+    u64 deactivatedCycle = 0;  // selection cycle when evicted
+    u64 lastEligibleCycle = 0;
+  };
+
+  u8 historyAt(u64 pos) const { return history_[pos % history_.size()]; }
+
+  void maybeRotateActiveSet();
+
+  TransformConfig config_;
+  std::vector<int> fullSet_;          // all strides the detector may consider
+  std::vector<Sequence> sequences_;   // sequences_[seqBase_[s] + phase]
+  std::vector<std::size_t> seqBase_;  // per-stride base into sequences_
+  std::vector<Stride> strides_;       // index 1..max_stride
+  std::vector<int> activeList_;       // current active set (unordered)
+  std::vector<u8> history_;           // ring buffer of the last max_stride bytes
+  u64 offset_ = 0;
+};
+
+}  // namespace scishuffle::transform

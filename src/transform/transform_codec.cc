@@ -1,0 +1,19 @@
+#include "transform/transform_codec.h"
+
+#include "compress/bzip2ish.h"
+#include "compress/deflate.h"
+
+namespace scishuffle {
+
+void registerTransformCodecs() {
+  registerBuiltinCodecs();
+  auto& r = CodecRegistry::instance();
+  r.registerCodec("transform+gzipish", [] {
+    return std::make_unique<TransformCodec>(std::make_unique<DeflateCodec>());
+  });
+  r.registerCodec("transform+bzip2ish", [] {
+    return std::make_unique<TransformCodec>(std::make_unique<Bzip2ishCodec>());
+  });
+}
+
+}  // namespace scishuffle

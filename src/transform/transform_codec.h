@@ -1,0 +1,40 @@
+// TransformCodec: the §III-E "custom codec" — predictive transform composed
+// with a generic compressor, registered through the same pluggable codec
+// mechanism Hadoop exposes. Selecting "transform+gzipish" as the intermediate
+// codec of a job reproduces the paper's cluster experiment configuration.
+#pragma once
+
+#include <memory>
+
+#include "compress/codec.h"
+#include "transform/predictive_transform.h"
+
+namespace scishuffle {
+
+class TransformCodec final : public Codec {
+ public:
+  TransformCodec(std::unique_ptr<Codec> inner, transform::TransformConfig config = {})
+      : inner_(std::move(inner)), transform_(std::move(config)) {}
+
+  std::string name() const override { return "transform+" + inner_->name(); }
+
+  Bytes compress(ByteSpan data) const override {
+    const Bytes residuals = transform_.forward(data);
+    return inner_->compress(residuals);
+  }
+
+  Bytes decompress(ByteSpan data) const override {
+    const Bytes residuals = inner_->decompress(data);
+    return transform_.inverse(residuals);
+  }
+
+ private:
+  std::unique_ptr<Codec> inner_;
+  transform::PredictiveTransform transform_;
+};
+
+/// Registers "transform+gzipish" and "transform+bzip2ish" (with default
+/// transform tunables) alongside the builtin codecs.
+void registerTransformCodecs();
+
+}  // namespace scishuffle

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "bench_util/bench_util.h"
+
+namespace scishuffle::bench {
+namespace {
+
+TEST(FormatTest, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(26000006), "26,000,006");
+  EXPECT_EQ(withCommas(1234567890123ull), "1,234,567,890,123");
+}
+
+TEST(FormatTest, HumanBytes) {
+  EXPECT_EQ(humanBytes(512), "512.0 B");
+  EXPECT_EQ(humanBytes(55.5e9), "55.5 GB");
+  EXPECT_EQ(humanBytes(3.81e6), "3.81 MB");
+}
+
+TEST(FormatTest, PercentChange) {
+  EXPECT_EQ(percentChange(183, 377), "+106.0%");
+  EXPECT_EQ(percentChange(183, 131), "-28.4%");
+  EXPECT_EQ(percentChange(100, 100), "+0.0%");
+}
+
+TEST(LinearFitTest, PerfectLine) {
+  const auto fit = fitLinear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasLowerR2) {
+  const auto fit = fitLinear({1, 2, 3, 4, 5}, {2.1, 3.9, 6.3, 7.7, 10.4});
+  EXPECT_GT(fit.r_squared, 0.97);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+}
+
+TEST(WorkloadTest, GridWalkStreamMatchesFig3Size) {
+  EXPECT_EQ(gridWalkStream(10).size(), 12'000u);
+  // The Fig. 3 input at n = 100 is 12,000,000 bytes (verified cheaply here
+  // via the formula; the bench itself builds the full stream).
+  EXPECT_EQ(static_cast<u64>(100) * 100 * 100 * 12, 12'000'000u);
+}
+
+TEST(WorkloadTest, GridWalkIsBigEndianTriples) {
+  const Bytes s = gridWalkStream(2);
+  // First triple is (0,0,0), second (0,0,1).
+  EXPECT_EQ(s[11], 0u);
+  EXPECT_EQ(s[23], 1u);
+}
+
+TEST(WorkloadTest, MakeIntGridIsDeterministic) {
+  const auto a = makeIntGrid("v", {8, 8}, 5);
+  const auto b = makeIntGrid("v", {8, 8}, 5);
+  const auto c = makeIntGrid("v", {8, 8}, 6);
+  EXPECT_EQ(a.raw(), b.raw());
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+}  // namespace
+}  // namespace scishuffle::bench

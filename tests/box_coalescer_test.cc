@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "scikey/box_coalescer.h"
+
+namespace scishuffle::scikey {
+namespace {
+
+std::vector<grid::Coord> cellsOf(const grid::Box& box) {
+  std::vector<grid::Coord> cells;
+  box.forEachCell([&](const grid::Coord& c) { cells.push_back(c); });
+  return cells;
+}
+
+void expectExactCover(const std::vector<grid::Coord>& cells, const std::vector<grid::Box>& boxes) {
+  std::set<grid::Coord> expected(cells.begin(), cells.end());
+  std::set<grid::Coord> covered;
+  for (const auto& box : boxes) {
+    box.forEachCell([&](const grid::Coord& c) {
+      EXPECT_TRUE(covered.insert(c).second) << "boxes overlap at " << grid::coordToString(c);
+    });
+  }
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(BoxCoalescerTest, EmptyAndSingle) {
+  EXPECT_TRUE(coalesceCells({}).empty());
+  const auto boxes = coalesceCells({{3, 4}});
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], grid::Box::cell({3, 4}));
+}
+
+TEST(BoxCoalescerTest, RectangleBecomesOneBox) {
+  const grid::Box rect({-2, 5}, {7, 9});
+  const auto boxes = coalesceCells(cellsOf(rect));
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], rect);
+}
+
+TEST(BoxCoalescerTest, ThreeDimensionalRectangle) {
+  const grid::Box rect({0, 0, 0}, {4, 5, 6});
+  const auto boxes = coalesceCells(cellsOf(rect));
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], rect);
+}
+
+TEST(BoxCoalescerTest, LShapeNeedsTwoBoxes) {
+  // An L: a 4x4 square missing its 2x2 upper-right corner.
+  std::vector<grid::Coord> cells;
+  grid::Box({0, 0}, {4, 4}).forEachCell([&](const grid::Coord& c) {
+    if (!(c[0] < 2 && c[1] >= 2)) cells.push_back(c);
+  });
+  const auto boxes = coalesceCells(cells);
+  expectExactCover(cells, boxes);
+  EXPECT_EQ(boxes.size(), 2u);
+}
+
+TEST(BoxCoalescerTest, Fig5Ambiguity) {
+  // The paper's Fig. 5: a plus-shaped region where the middle cell may join
+  // either arm. Greedy must still produce an exact cover (optimality is the
+  // suspected-NP-hard part we don't claim).
+  const std::vector<grid::Coord> cells = {{0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 1}};
+  const auto boxes = coalesceCells(cells);
+  expectExactCover(cells, boxes);
+  EXPECT_LE(boxes.size(), 4u);
+}
+
+TEST(BoxCoalescerTest, DuplicateCellsAreRejected) {
+  EXPECT_THROW(coalesceCells({{1, 1}, {1, 1}}), std::logic_error);
+}
+
+class BoxCoalescerProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BoxCoalescerProperty, RandomSubsetsAreExactlyCovered) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> coin(0, 2);
+  std::vector<grid::Coord> cells;
+  grid::Box({0, 0}, {12, 12}).forEachCell([&](const grid::Coord& c) {
+    if (coin(rng) != 0) cells.push_back(c);
+  });
+  const auto boxes = coalesceCells(cells);
+  expectExactCover(cells, boxes);
+  EXPECT_LE(boxes.size(), cells.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxCoalescerProperty, ::testing::Range(0u, 12u));
+
+TEST(BoxCoalescerTest, KeySizeFormula) {
+  EXPECT_EQ(boxKeySize(2), 4u + 32u);
+  EXPECT_EQ(boxKeySize(4), 4u + 64u);
+}
+
+}  // namespace
+}  // namespace scishuffle::scikey

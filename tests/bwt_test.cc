@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "compress/bwt.h"
+#include "testing_support.h"
+
+namespace scishuffle::bwt {
+namespace {
+
+std::vector<i32> naiveSuffixArray(ByteSpan text) {
+  std::vector<i32> sa(text.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) sa[i] = static_cast<i32>(i);
+  std::sort(sa.begin(), sa.end(), [&](i32 a, i32 b) {
+    const std::size_t ua = static_cast<std::size_t>(a);
+    const std::size_t ub = static_cast<std::size_t>(b);
+    return std::lexicographical_compare(text.begin() + ua, text.end(), text.begin() + ub,
+                                        text.end());
+  });
+  return sa;
+}
+
+Bytes fromString(const std::string& s) {
+  return Bytes(reinterpret_cast<const u8*>(s.data()),
+               reinterpret_cast<const u8*>(s.data()) + s.size());
+}
+
+TEST(SuffixArrayTest, ClassicBanana) {
+  const Bytes text = fromString("banana");
+  EXPECT_EQ(suffixArray(text), naiveSuffixArray(text));
+}
+
+TEST(SuffixArrayTest, Mississippi) {
+  const Bytes text = fromString("mississippi");
+  EXPECT_EQ(suffixArray(text), naiveSuffixArray(text));
+}
+
+TEST(SuffixArrayTest, EdgeCases) {
+  EXPECT_TRUE(suffixArray(Bytes{}).empty());
+  EXPECT_EQ(suffixArray(Bytes{7}), (std::vector<i32>{0}));
+  const Bytes same(50, 9);
+  EXPECT_EQ(suffixArray(same), naiveSuffixArray(same));
+}
+
+class SuffixArrayProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SuffixArrayProperty, MatchesNaive) {
+  const u32 seed = GetParam();
+  // Mix of alphabet sizes: tiny alphabets exercise deep SA-IS recursion.
+  Bytes text = testing::randomBytes(500 + seed * 37, seed);
+  for (auto& b : text) b = static_cast<u8>(b % (seed % 3 == 0 ? 2 : (seed % 3 == 1 ? 4 : 256)));
+  EXPECT_EQ(suffixArray(text), naiveSuffixArray(text)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuffixArrayProperty, ::testing::Range(0u, 24u));
+
+TEST(BwtTest, KnownTransformShape) {
+  // BWT groups equal characters: "banana" -> last column is a permutation
+  // with the n's and a's clustered.
+  const Bytes text = fromString("banana");
+  const auto t = forward(text);
+  Bytes sorted = t.lastColumn;
+  std::sort(sorted.begin(), sorted.end());
+  Bytes expected = text;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+  EXPECT_EQ(inverse(t.lastColumn, t.primaryIndex), text);
+}
+
+class BwtProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BwtProperty, RoundTrips) {
+  const u32 seed = GetParam();
+  for (const std::size_t n : {0u, 1u, 2u, 100u, 4096u}) {
+    const Bytes data = testing::randomBytes(n + seed, seed);
+    const auto t = forward(data);
+    EXPECT_EQ(t.lastColumn.size(), data.size());
+    EXPECT_EQ(inverse(t.lastColumn, t.primaryIndex), data);
+
+    const Bytes runny = testing::runnyBytes(n + seed, seed + 1000);
+    const auto t2 = forward(runny);
+    EXPECT_EQ(inverse(t2.lastColumn, t2.primaryIndex), runny);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BwtProperty, ::testing::Range(0u, 8u));
+
+TEST(BwtTest, GridWalkRoundTrips) {
+  const Bytes data = testing::gridWalkTriples(16, 16, 16);
+  const auto t = forward(data);
+  EXPECT_EQ(inverse(t.lastColumn, t.primaryIndex), data);
+}
+
+TEST(BwtTest, CorruptPrimaryIndexThrows) {
+  const Bytes data = fromString("hello world");
+  const auto t = forward(data);
+  EXPECT_THROW(inverse(t.lastColumn, static_cast<u32>(t.lastColumn.size()) + 5), FormatError);
+}
+
+}  // namespace
+}  // namespace scishuffle::bwt

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "compress/bzip2ish.h"
+#include "compress/codec.h"
+#include "compress/deflate.h"
+#include "testing_support.h"
+
+namespace scishuffle {
+namespace {
+
+std::unique_ptr<Codec> makeCodec(const std::string& name) {
+  registerBuiltinCodecs();
+  return CodecRegistry::instance().create(name);
+}
+
+// (codec name, workload name)
+using Case = std::tuple<std::string, std::string>;
+
+Bytes workload(const std::string& which, u32 seed) {
+  if (which == "empty") return {};
+  if (which == "one") return {42};
+  if (which == "random") return testing::randomBytes(50000, seed);
+  if (which == "runny") return testing::runnyBytes(80000, seed);
+  if (which == "gridwalk") return testing::gridWalkTriples(20, 20, 20);
+  if (which == "named") return testing::namedKeyStream("windspeed1", 60, 60, 1.5f);
+  throw std::logic_error("unknown workload");
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CodecRoundTrip, RoundTrips) {
+  const auto& [codecName, workloadName] = GetParam();
+  const auto codec = makeCodec(codecName);
+  for (u32 seed = 0; seed < 3; ++seed) {
+    const Bytes data = workload(workloadName, seed);
+    const Bytes compressed = codec->compress(data);
+    EXPECT_EQ(codec->decompress(compressed), data) << codecName << "/" << workloadName;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllWorkloads, CodecRoundTrip,
+    ::testing::Combine(::testing::Values("null", "gzipish", "bzip2ish"),
+                       ::testing::Values("empty", "one", "random", "runny", "gridwalk", "named")),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(CodecTest, CompressibleDataActuallyShrinks) {
+  const Bytes grid = testing::gridWalkTriples(25, 25, 25);
+  const auto gz = makeCodec("gzipish");
+  const auto bz = makeCodec("bzip2ish");
+  EXPECT_LT(gz->compress(grid).size(), grid.size() / 2);
+  EXPECT_LT(bz->compress(grid).size(), grid.size() / 2);
+}
+
+TEST(CodecTest, RandomDataDoesNotExplode) {
+  const Bytes random = testing::randomBytes(100000, 5);
+  const auto gz = makeCodec("gzipish");
+  // Incompressible input may grow slightly but must stay near 1x.
+  EXPECT_LT(gz->compress(random).size(), random.size() + random.size() / 8 + 64);
+}
+
+TEST(CodecTest, CorruptStreamThrows) {
+  const auto gz = makeCodec("gzipish");
+  const auto bz = makeCodec("bzip2ish");
+  Bytes data = testing::gridWalkTriples(10, 10, 10);
+  Bytes cz = gz->compress(data);
+  cz[5] ^= 0xFF;  // clobber the size field
+  EXPECT_THROW(gz->decompress(cz), FormatError);
+  Bytes cb = bz->compress(data);
+  cb[cb.size() / 2] ^= 0xFF;
+  EXPECT_THROW(bz->decompress(cb), FormatError);
+  EXPECT_THROW(gz->decompress(Bytes{1, 2, 3, 4, 5, 6}), FormatError);
+}
+
+TEST(CodecTest, MultiBlockBzip2ish) {
+  // Force several BWT blocks through a small block size.
+  const Bzip2ishCodec codec(1024);
+  const Bytes data = testing::runnyBytes(10000, 9);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(CodecTest, MultiBlockDeflate) {
+  // > 64Ki tokens forces multiple deflate blocks.
+  const Bytes data = testing::randomBytes(200000, 13);
+  const DeflateCodec codec;
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(CodecTest, CompressionLevelsTradeTimeForSize) {
+  const Bytes data = testing::runnyBytes(300000, 21);
+  const DeflateCodec fast(1);
+  const DeflateCodec best(9);
+  const Bytes cFast = fast.compress(data);
+  const Bytes cBest = best.compress(data);
+  EXPECT_EQ(fast.decompress(cFast), data);
+  EXPECT_EQ(best.decompress(cBest), data);
+  EXPECT_LE(cBest.size(), cFast.size());
+}
+
+TEST(CodecTest, InvalidLevelThrows) {
+  EXPECT_THROW(DeflateCodec(0), std::logic_error);
+  EXPECT_THROW(DeflateCodec(10), std::logic_error);
+}
+
+TEST(CodecTest, Bzip2ishMultiTablePathRoundTrips) {
+  // A block with phase changes (zero-heavy region then literal-heavy region)
+  // has > 4800 post-MTF symbols, forcing the 6-table selector machinery.
+  Bytes data;
+  data.insert(data.end(), 200000, 7);  // long runs -> RUNA/RUNB-heavy
+  const Bytes noise = testing::randomBytes(200000, 31);
+  data.insert(data.end(), noise.begin(), noise.end());
+  const Bzip2ishCodec codec;
+  const Bytes compressed = codec.compress(data);
+  EXPECT_EQ(codec.decompress(compressed), data);
+}
+
+TEST(CodecRegistryTest, ListsBuiltins) {
+  registerBuiltinCodecs();
+  const auto names = CodecRegistry::instance().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "gzipish"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "bzip2ish"), names.end());
+  EXPECT_THROW(CodecRegistry::instance().create("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scishuffle

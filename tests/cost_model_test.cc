@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.h"
+
+namespace scishuffle::cluster {
+namespace {
+
+namespace c = hadoop::counter;
+
+hadoop::Counters sampleCounters() {
+  hadoop::Counters counters;
+  counters.add(c::kMapCpuUs, 10'000'000);             // 10 s
+  counters.add(c::kSortCpuUs, 5'000'000);             // 5 s
+  counters.add(c::kCodecCompressCpuUs, 5'000'000);    // 5 s
+  counters.add(c::kCodecDecompressCpuUs, 2'000'000);  // 2 s
+  counters.add(c::kReduceCpuUs, 3'000'000);           // 3 s
+  counters.add(c::kMapOutputMaterializedBytes, 900'000'000);  // 900 MB
+  counters.add(c::kReduceShuffleBytes, 900'000'000);
+  counters.add(c::kReduceMergeMaterializedBytes, 450'000'000);
+  return counters;
+}
+
+TEST(CostModelTest, PhaseArithmetic) {
+  ClusterSpec spec;
+  spec.nodes = 5;
+  spec.map_slots = 10;
+  spec.reduce_slots = 5;
+  spec.disk_mb_per_s = 90;
+  spec.net_mb_per_s = 110;
+  const CostModel model(spec);
+
+  const auto breakdown = model.estimate(sampleCounters(), /*outputBytes=*/450'000'000);
+  // Map: (10+5+5)s / 10 slots = 2s CPU; 900 MB / 450 MB/s = 2s disk.
+  EXPECT_DOUBLE_EQ(breakdown.map_cpu_s, 2.0);
+  EXPECT_DOUBLE_EQ(breakdown.map_io_s, 2.0);
+  // Shuffle: 900 / 550 net, 900 / 450 disk.
+  EXPECT_NEAR(breakdown.shuffle_net_s, 900.0 / 550.0, 1e-9);
+  EXPECT_NEAR(breakdown.shuffle_disk_s, 2.0, 1e-9);
+  // Reduce: (2+3)/5 = 1s CPU; (900 + 2*450 + 450)/450 = 5s disk.
+  EXPECT_DOUBLE_EQ(breakdown.reduce_cpu_s, 1.0);
+  EXPECT_NEAR(breakdown.reduce_io_s, 5.0, 1e-9);
+  EXPECT_NEAR(breakdown.total(),
+              breakdown.mapPhase() + breakdown.shufflePhase() + breakdown.reducePhase(), 1e-12);
+}
+
+TEST(CostModelTest, ScaleIsLinear) {
+  const CostModel model(ClusterSpec{});
+  const auto counters = sampleCounters();
+  const auto x1 = model.estimate(counters, 1'000'000, 1.0);
+  const auto x10 = model.estimate(counters, 1'000'000, 10.0);
+  EXPECT_NEAR(x10.total(), 10.0 * x1.total(), 1e-9);
+  EXPECT_NEAR(x10.map_cpu_s, 10.0 * x1.map_cpu_s, 1e-9);
+}
+
+TEST(CostModelTest, CpuScaleOnlyAffectsCpuTerms) {
+  ClusterSpec slowCpu;
+  slowCpu.cpu_scale = 3.0;
+  const auto counters = sampleCounters();
+  const auto fast = CostModel(ClusterSpec{}).estimate(counters, 0);
+  const auto slow = CostModel(slowCpu).estimate(counters, 0);
+  EXPECT_NEAR(slow.map_cpu_s, 3.0 * fast.map_cpu_s, 1e-9);
+  EXPECT_NEAR(slow.reduce_cpu_s, 3.0 * fast.reduce_cpu_s, 1e-9);
+  EXPECT_DOUBLE_EQ(slow.map_io_s, fast.map_io_s);
+  EXPECT_DOUBLE_EQ(slow.shuffle_net_s, fast.shuffle_net_s);
+}
+
+TEST(CostModelTest, MoreNodesShrinkIoNotSlotBoundCpu) {
+  ClusterSpec five;
+  ClusterSpec ten = five;
+  ten.nodes = 10;
+  const auto counters = sampleCounters();
+  const auto b5 = CostModel(five).estimate(counters, 0);
+  const auto b10 = CostModel(ten).estimate(counters, 0);
+  EXPECT_NEAR(b10.map_io_s, b5.map_io_s / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b10.map_cpu_s, b5.map_cpu_s);  // slots unchanged
+}
+
+TEST(CostModelTest, ToStringMentionsEveryPhase) {
+  const auto s = CostModel(ClusterSpec{}).estimate(sampleCounters(), 0).toString();
+  EXPECT_NE(s.find("map"), std::string::npos);
+  EXPECT_NE(s.find("shuffle"), std::string::npos);
+  EXPECT_NE(s.find("reduce"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scishuffle::cluster

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "grid/box.h"
+#include "grid/dataset.h"
+#include "grid/shape.h"
+
+namespace scishuffle::grid {
+namespace {
+
+TEST(ShapeTest, VolumeAndStrides) {
+  const Shape s({4, 5, 6});
+  EXPECT_EQ(s.volume(), 120);
+  EXPECT_EQ(s.rowMajorStrides(), (std::vector<i64>{30, 6, 1}));
+}
+
+TEST(ShapeTest, LinearizeRoundTrip) {
+  const Shape s({3, 7, 2, 5});
+  for (i64 off = 0; off < s.volume(); ++off) {
+    const Coord c = s.delinearize(off);
+    EXPECT_EQ(s.linearize(c), off);
+  }
+}
+
+TEST(ShapeTest, OutOfBoundsThrows) {
+  const Shape s({3, 3});
+  EXPECT_THROW(s.linearize({3, 0}), std::logic_error);
+  EXPECT_THROW(s.linearize({0, -1}), std::logic_error);
+  EXPECT_THROW(s.delinearize(9), std::logic_error);
+}
+
+TEST(BoxTest, BasicGeometry) {
+  const Box b({-2, 3}, {4, 5});
+  EXPECT_EQ(b.volume(), 20);
+  EXPECT_EQ(b.low(0), -2);
+  EXPECT_EQ(b.high(0), 2);
+  EXPECT_TRUE(b.contains({-2, 3}));
+  EXPECT_TRUE(b.contains({1, 7}));
+  EXPECT_FALSE(b.contains({2, 3}));
+  EXPECT_FALSE(b.contains({0, 8}));
+}
+
+TEST(BoxTest, IntersectionMatchesThePaperExample) {
+  // §IV-C: mapper for (0,0)-(9,9) produces (-1,-1)-(10,10); the neighbor for
+  // (0,10)-(9,19) produces (-1,9)-(10,20); they overlap in (-1,9)-(10,10).
+  const Box a = Box::fromExtents({-1, -1}, {11, 11});
+  const Box b = Box::fromExtents({-1, 9}, {11, 21});
+  const auto overlap = a.intersection(b);
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_EQ(*overlap, Box::fromExtents({-1, 9}, {11, 11}));
+}
+
+TEST(BoxTest, DisjointIntersection) {
+  const Box a({0, 0}, {2, 2});
+  const Box b({5, 5}, {1, 1});
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_FALSE(a.intersection(b).has_value());
+}
+
+TEST(BoxTest, SplitAtPartitionsVolume) {
+  const Box b({0, 0}, {10, 10});
+  const auto [lo, hi] = b.splitAt(0, 4);
+  EXPECT_EQ(lo.volume() + hi.volume(), b.volume());
+  EXPECT_EQ(lo, Box({0, 0}, {4, 10}));
+  EXPECT_EQ(hi, Box({4, 0}, {6, 10}));
+  // Out-of-range positions clamp to an empty side.
+  const auto [lo2, hi2] = b.splitAt(1, 99);
+  EXPECT_EQ(lo2.volume(), 100);
+  EXPECT_TRUE(hi2.empty());
+}
+
+TEST(BoxTest, CutByProducesDisjointCover) {
+  const Box b({0, 0, 0}, {6, 6, 6});
+  const Box cutter({2, -1, 3}, {2, 4, 10});
+  const auto pieces = b.cutBy(cutter);
+  i64 total = 0;
+  for (const Box& p : pieces) {
+    total += p.volume();
+    // Each piece is entirely inside or entirely outside the cutter.
+    const auto inter = p.intersection(cutter);
+    if (inter.has_value()) EXPECT_EQ(inter->volume(), p.volume());
+  }
+  EXPECT_EQ(total, b.volume());
+}
+
+TEST(BoxTest, CutByDisjointCutterIsIdentity) {
+  const Box b({0, 0}, {3, 3});
+  const auto pieces = b.cutBy(Box({10, 10}, {2, 2}));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], b);
+}
+
+TEST(BoxTest, DecomposeOverlapsIsExactCover) {
+  // Count per-cell coverage before and after: must match everywhere.
+  const std::vector<Box> boxes = {Box({0, 0}, {4, 4}), Box({2, 2}, {4, 4}), Box({3, 0}, {2, 6}),
+                                  Box({0, 0}, {4, 4})};  // includes an exact duplicate
+  const auto fragments = decomposeOverlaps(boxes);
+
+  std::map<Coord, int> expected;
+  for (const Box& b : boxes) b.forEachCell([&](const Coord& c) { ++expected[c]; });
+  std::map<Coord, int> actual;
+  for (const auto& [frag, src] : fragments) {
+    EXPECT_LT(src, boxes.size());
+    frag.forEachCell([&](const Coord& c) { ++actual[c]; });
+  }
+  EXPECT_EQ(actual, expected);
+
+  // Fragments from different sources are equal or disjoint (Fig. 7 property).
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    for (std::size_t j = i + 1; j < fragments.size(); ++j) {
+      const auto& a = fragments[i].first;
+      const auto& b = fragments[j].first;
+      if (a.intersects(b)) EXPECT_EQ(a, b);
+    }
+  }
+}
+
+class DecomposeProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DecomposeProperty, RandomBoxesDecomposeExactly) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<i64> lo(-5, 10);
+  std::uniform_int_distribution<i64> len(1, 6);
+  std::vector<Box> boxes;
+  const int n = 2 + static_cast<int>(GetParam() % 5);
+  for (int i = 0; i < n; ++i) {
+    const Coord corner{lo(rng), lo(rng)};
+    boxes.emplace_back(corner, std::vector<i64>{len(rng), len(rng)});
+  }
+  const auto fragments = decomposeOverlaps(boxes);
+
+  std::map<Coord, int> expected;
+  for (const Box& b : boxes) b.forEachCell([&](const Coord& c) { ++expected[c]; });
+  std::map<Coord, int> actual;
+  for (const auto& [frag, src] : fragments) {
+    frag.forEachCell([&](const Coord& c) { ++actual[c]; });
+  }
+  EXPECT_EQ(actual, expected) << "seed " << GetParam();
+
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    for (std::size_t j = i + 1; j < fragments.size(); ++j) {
+      if (fragments[i].first.intersects(fragments[j].first)) {
+        EXPECT_EQ(fragments[i].first, fragments[j].first);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeProperty, ::testing::Range(0u, 16u));
+
+TEST(BoxTest, ExpandToAlignment) {
+  const Box b({-3, 5}, {4, 4});  // spans [-3,1) x [5,9)
+  const Box e = b.expandToAlignment(4);
+  EXPECT_EQ(e, Box::fromExtents({-4, 4}, {4, 12}));
+  EXPECT_TRUE(e.containsBox(b));
+  // Already-aligned boxes are unchanged.
+  const Box aligned({-4, 4}, {8, 8});
+  EXPECT_EQ(aligned.expandToAlignment(4), aligned);
+}
+
+TEST(BoxTest, ForEachCellIsRowMajor) {
+  const Box b({1, 1}, {2, 2});
+  std::vector<Coord> visited;
+  b.forEachCell([&](const Coord& c) { visited.push_back(c); });
+  EXPECT_EQ(visited,
+            (std::vector<Coord>{{1, 1}, {1, 2}, {2, 1}, {2, 2}}));
+}
+
+TEST(DatasetTest, VariablesAndTypes) {
+  Dataset ds;
+  auto& wind = ds.addVariable("windspeed1", DataType::kFloat32, Shape({8, 8}));
+  ds.addVariable("pressure", DataType::kFloat64, Shape({4}));
+  EXPECT_THROW(ds.addVariable("windspeed1", DataType::kInt32, Shape({1})), std::logic_error);
+  EXPECT_EQ(ds.variableIndex("windspeed1"), 0);
+  EXPECT_EQ(ds.variableIndex("pressure"), 1);
+  EXPECT_THROW(ds.variableIndex("nope"), std::out_of_range);
+
+  wind.setFloat32({3, 4}, 7.5f);
+  EXPECT_EQ(ds.variable("windspeed1").float32At({3, 4}), 7.5f);
+  EXPECT_THROW(wind.int32At({0, 0}), std::logic_error);
+}
+
+TEST(DatasetTest, SerializedValueIsBigEndian) {
+  Dataset ds;
+  auto& v = ds.addVariable("v", DataType::kInt32, Shape({2}));
+  v.setInt32({1}, 0x01020304);
+  const Bytes b = v.serializedValueAt({1});
+  EXPECT_EQ(b, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(GeneratorTest, LinearFillMatchesOffsets) {
+  Dataset ds;
+  auto& v = ds.addVariable("v", DataType::kInt32, Shape({5, 7}));
+  gen::fillLinear(v);
+  EXPECT_EQ(v.int32At({0, 0}), 0);
+  EXPECT_EQ(v.int32At({2, 3}), 2 * 7 + 3);
+}
+
+TEST(GeneratorTest, WindspeedIsSmoothAndDeterministic) {
+  Dataset ds;
+  auto& a = ds.addVariable("a", DataType::kFloat32, Shape({32, 32}));
+  auto& b = ds.addVariable("b", DataType::kFloat32, Shape({32, 32}));
+  gen::fillWindspeed(a, 7);
+  gen::fillWindspeed(b, 7);
+  EXPECT_EQ(a.raw(), b.raw());
+  // Neighboring cells differ by a bounded amount (smoothness).
+  for (i64 x = 0; x < 32; ++x) {
+    for (i64 y = 1; y < 32; ++y) {
+      EXPECT_LT(std::abs(a.float32At({x, y}) - a.float32At({x, y - 1})), 1.5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scishuffle::grid

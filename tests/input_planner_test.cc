@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scikey/input_planner.h"
+
+namespace scishuffle::scikey {
+namespace {
+
+void expectExactPartition(const grid::Box& domain, const std::vector<grid::Box>& splits) {
+  std::map<grid::Coord, int> coverage;
+  for (const auto& s : splits) {
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(domain.containsBox(s));
+    s.forEachCell([&](const grid::Coord& c) { ++coverage[c]; });
+  }
+  i64 covered = 0;
+  for (const auto& [c, n] : coverage) {
+    EXPECT_EQ(n, 1) << grid::coordToString(c) << " covered " << n << " times";
+    ++covered;
+  }
+  EXPECT_EQ(covered, domain.volume());
+}
+
+class PlannerPartition
+    : public ::testing::TestWithParam<std::tuple<SplitStrategy, int>> {};
+
+TEST_P(PlannerPartition, CoversDomainExactly) {
+  const auto& [strategy, numSplits] = GetParam();
+  const grid::Box domain({-2, 3}, {17, 11});
+  const auto splits = planInputSplits(domain, numSplits, strategy);
+  EXPECT_LE(static_cast<int>(splits.size()), numSplits);
+  expectExactPartition(domain, splits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PlannerPartition,
+    ::testing::Combine(::testing::Values(SplitStrategy::kSlabs, SplitStrategy::kRecursiveBisect),
+                       ::testing::Values(1, 2, 5, 16, 64)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == SplitStrategy::kSlabs ? "slabs" : "bisect") +
+             "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PlannerTest, SlabsCutDimensionZeroOnly) {
+  const grid::Box domain({0, 0}, {12, 9});
+  for (const auto& s : planInputSplits(domain, 4, SplitStrategy::kSlabs)) {
+    EXPECT_EQ(s.size()[1], 9);
+  }
+}
+
+TEST(PlannerTest, BisectSplitsAreCompact) {
+  // A long thin domain: slabs keep the bad aspect ratio, bisection fixes it.
+  const grid::Box domain({0, 0}, {8, 64});
+  const auto slabs = planInputSplits(domain, 8, SplitStrategy::kSlabs);
+  const auto bisect = planInputSplits(domain, 8, SplitStrategy::kRecursiveBisect);
+  auto worstAspect = [](const std::vector<grid::Box>& splits) {
+    double worst = 1;
+    for (const auto& s : splits) {
+      const double a = static_cast<double>(std::max(s.size()[0], s.size()[1])) /
+                       static_cast<double>(std::min(s.size()[0], s.size()[1]));
+      worst = std::max(worst, a);
+    }
+    return worst;
+  };
+  EXPECT_LT(worstAspect(bisect), worstAspect(slabs));
+  expectExactPartition(domain, bisect);
+}
+
+TEST(PlannerTest, MoreSplitsThanCellsSaturates) {
+  const grid::Box domain({0}, {3});
+  const auto splits = planInputSplits(domain, 10, SplitStrategy::kRecursiveBisect);
+  EXPECT_EQ(splits.size(), 3u);
+  expectExactPartition(domain, splits);
+}
+
+TEST(PlannerTest, ThreeDimensionalBisect) {
+  const grid::Box domain({0, 0, 0}, {10, 6, 14});
+  const auto splits = planInputSplits(domain, 7, SplitStrategy::kRecursiveBisect);
+  expectExactPartition(domain, splits);
+}
+
+TEST(PlannerTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(planInputSplits(grid::Box({0}, {5}), 0, SplitStrategy::kSlabs), std::logic_error);
+  EXPECT_THROW(planInputSplits(grid::Box({0}, {0}), 2, SplitStrategy::kSlabs), std::logic_error);
+}
+
+}  // namespace
+}  // namespace scishuffle::scikey

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "compress/lz77.h"
+#include "testing_support.h"
+
+namespace scishuffle::lz77 {
+namespace {
+
+void expectRoundTrip(const Bytes& data) {
+  const auto tokens = parse(data);
+  for (const auto& t : tokens) {
+    if (t.length > 0) {
+      EXPECT_GE(t.length, static_cast<u32>(kMinMatch));
+      EXPECT_LE(t.length, static_cast<u32>(kMaxMatch));
+      EXPECT_GE(t.distance, 1u);
+      EXPECT_LE(t.distance, kWindowSize);
+    }
+  }
+  EXPECT_EQ(expand(tokens), data);
+}
+
+TEST(Lz77Test, Empty) { expectRoundTrip({}); }
+
+TEST(Lz77Test, ShortInputs) {
+  expectRoundTrip({1});
+  expectRoundTrip({1, 2});
+  expectRoundTrip({7, 7, 7});
+}
+
+TEST(Lz77Test, AllSameByteUsesLongMatches) {
+  const Bytes data(10000, 42);
+  const auto tokens = parse(data);
+  EXPECT_EQ(expand(tokens), data);
+  // One literal plus overlapping distance-1 matches: far fewer tokens than bytes.
+  EXPECT_LT(tokens.size(), 100u);
+}
+
+TEST(Lz77Test, PeriodicDataFindsThePeriod) {
+  Bytes data;
+  for (int i = 0; i < 5000; ++i) data.push_back(static_cast<u8>(i % 12));
+  const auto tokens = parse(data);
+  EXPECT_EQ(expand(tokens), data);
+  EXPECT_LT(tokens.size(), 60u);
+}
+
+TEST(Lz77Test, MatchesNeverCrossWindow) {
+  // Distant repeats beyond 32 KiB must be re-emitted, not referenced.
+  Bytes data = testing::randomBytes(1000, 11);
+  Bytes far(kWindowSize + 100, 0);
+  Bytes all = data;
+  all.insert(all.end(), far.begin(), far.end());
+  all.insert(all.end(), data.begin(), data.end());
+  expectRoundTrip(all);
+}
+
+class Lz77Property : public ::testing::TestWithParam<u32> {};
+
+TEST_P(Lz77Property, RoundTripsRandomAndRunny) {
+  expectRoundTrip(testing::randomBytes(20000 + GetParam() * 997, GetParam()));
+  expectRoundTrip(testing::runnyBytes(20000 + GetParam() * 997, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77Property, ::testing::Range(0u, 10u));
+
+TEST(Lz77Test, GridWalkRoundTrips) {
+  expectRoundTrip(testing::gridWalkTriples(12, 12, 12));
+}
+
+}  // namespace
+}  // namespace scishuffle::lz77

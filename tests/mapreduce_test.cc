@@ -1,0 +1,292 @@
+// End-to-end tests of the mini-Hadoop engine with classic workloads
+// (word count, sum-by-key) across codec / combiner / spill / slot settings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "hadoop/runtime.h"
+#include "io/primitives.h"
+#include "io/streams.h"
+#include "testing_support.h"
+
+namespace scishuffle::hadoop {
+namespace {
+
+Bytes toBytes(const std::string& s) {
+  return Bytes(reinterpret_cast<const u8*>(s.data()),
+               reinterpret_cast<const u8*>(s.data()) + s.size());
+}
+
+std::string toString(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+Bytes encodeI64(i64 v) {
+  Bytes out;
+  MemorySink sink(out);
+  writeI64(sink, v);
+  return out;
+}
+
+i64 decodeI64(const Bytes& b) {
+  MemorySource src(b);
+  return readI64(src);
+}
+
+/// Deterministic synthetic corpus: `docs` documents of `words` words drawn
+/// from a small vocabulary.
+std::vector<std::vector<std::string>> corpus(int docs, int words, u32 seed) {
+  const std::vector<std::string> vocab = {"the",  "windspeed", "grid",   "key",  "value",
+                                          "map",  "reduce",    "hadoop", "sci",  "curve"};
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, vocab.size() - 1);
+  std::vector<std::vector<std::string>> out(static_cast<std::size_t>(docs));
+  for (auto& doc : out) {
+    doc.reserve(static_cast<std::size_t>(words));
+    for (int w = 0; w < words; ++w) doc.push_back(vocab[pick(rng)]);
+  }
+  return out;
+}
+
+std::map<std::string, i64> expectedCounts(const std::vector<std::vector<std::string>>& docs) {
+  std::map<std::string, i64> counts;
+  for (const auto& doc : docs) {
+    for (const auto& w : doc) ++counts[w];
+  }
+  return counts;
+}
+
+std::map<std::string, i64> actualCounts(const JobResult& result) {
+  std::map<std::string, i64> counts;
+  for (const auto& out : result.outputs) {
+    for (const auto& kv : out) {
+      const auto [it, inserted] = counts.emplace(toString(kv.key), decodeI64(kv.value));
+      EXPECT_TRUE(inserted) << "key emitted by two reducers: " << toString(kv.key);
+    }
+  }
+  return counts;
+}
+
+JobResult runWordCount(const std::vector<std::vector<std::string>>& docs, JobConfig config) {
+  std::vector<MapTask> tasks;
+  for (const auto& doc : docs) {
+    tasks.push_back(MapTask{[&doc](const EmitFn& emit) {
+      for (const auto& w : doc) emit(toBytes(w), encodeI64(1));
+    }});
+  }
+  const ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+    i64 sum = 0;
+    for (const auto& v : values) sum += decodeI64(v);
+    emit(key, encodeI64(sum));
+  };
+  return runJob(config, tasks, reduce);
+}
+
+// (reducers, map slots, codec, use combiner, spill buffer bytes)
+using EngineCase = std::tuple<int, int, std::string, bool, std::size_t>;
+
+class EngineMatrix : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineMatrix, WordCountIsExact) {
+  const auto& [reducers, slots, codec, useCombiner, spillBytes] = GetParam();
+  const auto docs = corpus(9, 500, 1234);
+
+  JobConfig config;
+  config.num_reducers = reducers;
+  config.map_slots = slots;
+  config.intermediate_codec = codec;
+  config.spill_buffer_bytes = spillBytes;
+  if (useCombiner) {
+    config.combiner = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+      i64 sum = 0;
+      for (const auto& v : values) sum += decodeI64(v);
+      emit(key, encodeI64(sum));
+    };
+  }
+
+  const JobResult result = runWordCount(docs, config);
+  EXPECT_EQ(actualCounts(result), expectedCounts(docs));
+  EXPECT_EQ(result.counters.get(counter::kMapOutputRecords), 9u * 500u);
+  if (useCombiner) {
+    EXPECT_LT(result.counters.get(counter::kReduceInputRecords),
+              result.counters.get(counter::kMapOutputRecords));
+  }
+  // Conservation: everything materialized got shuffled.
+  EXPECT_EQ(result.counters.get(counter::kMapOutputMaterializedBytes),
+            result.counters.get(counter::kReduceShuffleBytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineMatrix,
+    ::testing::Values(EngineCase{1, 1, "null", false, 16u << 20},
+                      EngineCase{4, 3, "null", false, 16u << 20},
+                      EngineCase{4, 3, "null", true, 16u << 20},
+                      EngineCase{3, 2, "gzipish", false, 16u << 20},
+                      EngineCase{3, 2, "gzipish", true, 4096},  // many spills
+                      EngineCase{2, 4, "bzip2ish", false, 16u << 20},
+                      EngineCase{5, 10, "transform+gzipish", false, 2048},
+                      EngineCase{2, 2, "null", true, 1024}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      std::string codec = std::get<2>(info.param);
+      for (auto& c : codec) {
+        if (c == '+') c = '_';
+      }
+      return "r" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param)) + "_" + codec +
+             (std::get<3>(info.param) ? "_comb" : "") + "_b" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+TEST(EngineTest, SortedOrderWithinReducer) {
+  const auto docs = corpus(4, 300, 99);
+  JobConfig config;
+  config.num_reducers = 2;
+  const JobResult result = runWordCount(docs, config);
+  for (const auto& out : result.outputs) {
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      EXPECT_TRUE(lexicographicLess(out[i - 1].key, out[i].key));
+    }
+  }
+}
+
+TEST(EngineTest, CustomRouterSplitsRecords) {
+  // A router that duplicates each record to all partitions (degenerate
+  // "aggregate key spanning every reducer").
+  JobConfig config;
+  config.num_reducers = 3;
+  config.router = [](KeyValue&& kv, int parts) {
+    std::vector<std::pair<int, KeyValue>> out;
+    for (int p = 0; p < parts; ++p) out.emplace_back(p, kv);
+    return out;
+  };
+  std::vector<MapTask> tasks{MapTask{[](const EmitFn& emit) {
+    emit(toBytes("k"), encodeI64(5));
+  }}};
+  const ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+    emit(key, encodeI64(static_cast<i64>(values.size())));
+  };
+  const JobResult result = runJob(config, tasks, reduce);
+  int nonEmpty = 0;
+  for (const auto& out : result.outputs) {
+    if (!out.empty()) ++nonEmpty;
+  }
+  EXPECT_EQ(nonEmpty, 3);
+}
+
+TEST(EngineTest, MergePassesTriggerWhenSegmentsExceedFactor) {
+  // 30 mappers, merge factor 4 -> the reducer must run extra merge passes.
+  JobConfig config;
+  config.num_reducers = 1;
+  config.merge_factor = 4;
+  config.map_slots = 8;
+  std::vector<MapTask> tasks;
+  for (int m = 0; m < 30; ++m) {
+    tasks.push_back(MapTask{[m](const EmitFn& emit) {
+      emit(toBytes("key" + std::to_string(m % 7)), encodeI64(m));
+    }});
+  }
+  const ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+    i64 sum = 0;
+    for (const auto& v : values) sum += decodeI64(v);
+    emit(key, encodeI64(sum));
+  };
+  const JobResult result = runJob(config, tasks, reduce);
+  EXPECT_GT(result.counters.get(counter::kReduceMergePasses), 0u);
+  EXPECT_GT(result.counters.get(counter::kReduceMergeMaterializedBytes), 0u);
+  i64 total = 0;
+  for (const auto& out : result.outputs) {
+    for (const auto& kv : out) total += decodeI64(kv.value);
+  }
+  EXPECT_EQ(total, 29 * 30 / 2);
+}
+
+TEST(EngineTest, MapperExceptionPropagates) {
+  JobConfig config;
+  std::vector<MapTask> tasks{MapTask{[](const EmitFn&) { throw std::runtime_error("boom"); }}};
+  const ReduceFn reduce = [](const Bytes&, std::vector<Bytes>&, const EmitFn&) {};
+  EXPECT_THROW(runJob(config, tasks, reduce), std::runtime_error);
+}
+
+TEST(EngineTest, FlakyMapTaskSucceedsWithRetries) {
+  JobConfig config;
+  config.max_task_attempts = 3;
+  config.map_slots = 1;  // deterministic attempt ordering
+  auto failures = std::make_shared<std::atomic<int>>(0);
+  std::vector<MapTask> tasks{MapTask{[failures](const EmitFn& emit) {
+    // First two attempts die *after* emitting — retries must discard the
+    // partial output or the count would triple.
+    emit(toBytes("k"), encodeI64(1));
+    if (failures->fetch_add(1) < 2) throw std::runtime_error("transient");
+  }}};
+  const ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+    i64 sum = 0;
+    for (const auto& v : values) sum += decodeI64(v);
+    emit(key, encodeI64(sum));
+  };
+  const JobResult result = runJob(config, tasks, reduce);
+  ASSERT_EQ(result.outputs[0].size(), 1u);
+  EXPECT_EQ(decodeI64(result.outputs[0][0].value), 1);  // not 3: attempts were discarded
+  EXPECT_EQ(failures->load(), 3);
+}
+
+TEST(EngineTest, FlakyReduceTaskSucceedsWithRetries) {
+  JobConfig config;
+  config.max_task_attempts = 2;
+  auto failures = std::make_shared<std::atomic<int>>(0);
+  std::vector<MapTask> tasks{MapTask{[](const EmitFn& emit) {
+    emit(toBytes("a"), encodeI64(7));
+  }}};
+  const ReduceFn reduce = [failures](const Bytes& key, std::vector<Bytes>& values,
+                                     const EmitFn& emit) {
+    if (failures->fetch_add(1) < 1) throw std::runtime_error("transient");
+    emit(key, values.front());
+  };
+  const JobResult result = runJob(config, tasks, reduce);
+  ASSERT_EQ(result.outputs[0].size(), 1u);
+  EXPECT_EQ(decodeI64(result.outputs[0][0].value), 7);
+}
+
+TEST(EngineTest, PersistentFailureStillFails) {
+  JobConfig config;
+  config.max_task_attempts = 3;
+  std::vector<MapTask> tasks{MapTask{[](const EmitFn&) { throw std::runtime_error("fatal"); }}};
+  const ReduceFn reduce = [](const Bytes&, std::vector<Bytes>&, const EmitFn&) {};
+  EXPECT_THROW(runJob(config, tasks, reduce), std::runtime_error);
+}
+
+TEST(EngineTest, DiskBackedSpillsProduceIdenticalResults) {
+  const auto docs = corpus(6, 400, 77);
+  JobConfig memConfig;
+  memConfig.num_reducers = 3;
+  memConfig.spill_buffer_bytes = 2048;  // force several spills per task
+  JobConfig diskConfig = memConfig;
+  const auto dir = std::filesystem::temp_directory_path() / "scishuffle_spills";
+  std::filesystem::create_directories(dir);
+  diskConfig.spill_dir = dir;
+
+  const JobResult mem = runWordCount(docs, memConfig);
+  const JobResult disk = runWordCount(docs, diskConfig);
+  EXPECT_EQ(actualCounts(disk), actualCounts(mem));
+  EXPECT_EQ(disk.counters.get(counter::kMapOutputMaterializedBytes),
+            mem.counters.get(counter::kMapOutputMaterializedBytes));
+  // Transient spill files are cleaned up after the merge.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineTest, EmptyJobProducesEmptyOutputs) {
+  JobConfig config;
+  config.num_reducers = 2;
+  const ReduceFn reduce = [](const Bytes&, std::vector<Bytes>&, const EmitFn&) {};
+  const JobResult result = runJob(config, {}, reduce);
+  EXPECT_EQ(result.outputs.size(), 2u);
+  EXPECT_TRUE(result.outputs[0].empty());
+  EXPECT_TRUE(result.outputs[1].empty());
+}
+
+}  // namespace
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfs/mini_dfs.h"
+#include "testing_support.h"
+
+namespace scishuffle::dfs {
+namespace {
+
+DfsConfig smallBlocks() {
+  DfsConfig config;
+  config.block_size = 1000;
+  config.replication = 3;
+  config.nodes = 5;
+  return config;
+}
+
+TEST(MiniDfsTest, RoundTripsAcrossBlocks) {
+  MiniDfs fs(smallBlocks());
+  const Bytes data = testing::randomBytes(4500, 1);  // 5 blocks (last partial)
+  fs.writeFile("/data/input.nc", data, 2);
+  EXPECT_TRUE(fs.exists("/data/input.nc"));
+  EXPECT_EQ(fs.fileSize("/data/input.nc"), 4500u);
+  EXPECT_EQ(fs.readFile("/data/input.nc"), data);
+
+  const auto blocks = fs.locate("/data/input.nc");
+  ASSERT_EQ(blocks.size(), 5u);
+  EXPECT_EQ(blocks[4].length, 500u);
+  u64 offset = 0;
+  for (const auto& b : blocks) {
+    EXPECT_EQ(b.offset, offset);
+    offset += b.length;
+  }
+}
+
+TEST(MiniDfsTest, PlacementPolicy) {
+  MiniDfs fs(smallBlocks());
+  fs.writeFile("/f", testing::randomBytes(3000, 2), /*writerNode=*/4);
+  for (const auto& block : fs.locate("/f")) {
+    // First replica writer-local, all replicas distinct, correct count.
+    EXPECT_EQ(block.replicas.front(), 4);
+    EXPECT_EQ(block.replicas.size(), 3u);
+    const std::set<int> unique(block.replicas.begin(), block.replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (const int r : unique) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, 5);
+    }
+  }
+}
+
+TEST(MiniDfsTest, ReplicationClampsToClusterSize) {
+  DfsConfig config;
+  config.nodes = 2;
+  config.replication = 5;
+  MiniDfs fs(config);
+  fs.writeFile("/f", testing::randomBytes(100, 3));
+  EXPECT_EQ(fs.locate("/f")[0].replicas.size(), 2u);
+}
+
+TEST(MiniDfsTest, ReadBlockPrefersLocalReplica) {
+  MiniDfs fs(smallBlocks());
+  const Bytes data = testing::randomBytes(2000, 4);
+  fs.writeFile("/f", data, 1);
+  const auto blocks = fs.locate("/f");
+  // Reading from a node that has a replica should pick that node.
+  for (const int replica : blocks[0].replicas) {
+    int chosen = -1;
+    const Bytes block = fs.readBlock("/f", 0, replica, &chosen);
+    EXPECT_EQ(chosen, replica);
+    EXPECT_EQ(block.size(), 1000u);
+  }
+  // A node with no replica falls back to some replica.
+  int noReplicaNode = -1;
+  for (int n = 0; n < 5; ++n) {
+    if (std::find(blocks[0].replicas.begin(), blocks[0].replicas.end(), n) ==
+        blocks[0].replicas.end()) {
+      noReplicaNode = n;
+      break;
+    }
+  }
+  ASSERT_NE(noReplicaNode, -1);
+  int chosen = -1;
+  fs.readBlock("/f", 0, noReplicaNode, &chosen);
+  EXPECT_NE(chosen, noReplicaNode);
+}
+
+TEST(MiniDfsTest, NodeUsageAccountsReplicas) {
+  MiniDfs fs(smallBlocks());
+  fs.writeFile("/f", testing::randomBytes(1000, 5), 0);
+  u64 total = 0;
+  for (int n = 0; n < 5; ++n) total += fs.bytesOnNode(n);
+  EXPECT_EQ(total, 3000u);  // one block x replication 3
+  EXPECT_EQ(fs.bytesOnNode(0), 1000u);  // writer-local replica
+}
+
+TEST(MiniDfsTest, EmptyFile) {
+  MiniDfs fs(smallBlocks());
+  fs.writeFile("/empty", Bytes{});
+  EXPECT_EQ(fs.fileSize("/empty"), 0u);
+  EXPECT_TRUE(fs.readFile("/empty").empty());
+  EXPECT_EQ(fs.locate("/empty").size(), 1u);  // HDFS-style zero-length block
+}
+
+TEST(MiniDfsTest, NamespaceOperations) {
+  MiniDfs fs(smallBlocks());
+  fs.writeFile("/a", testing::randomBytes(10, 6));
+  fs.writeFile("/b", testing::randomBytes(10, 7));
+  EXPECT_EQ(fs.listFiles(), (std::vector<std::string>{"/a", "/b"}));
+  EXPECT_THROW(fs.writeFile("/a", Bytes{}), std::logic_error);  // no overwrite
+  fs.remove("/a");
+  EXPECT_FALSE(fs.exists("/a"));
+  EXPECT_THROW(fs.remove("/a"), std::out_of_range);
+  EXPECT_THROW(fs.readFile("/nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace scishuffle::dfs

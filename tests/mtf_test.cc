@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "compress/mtf.h"
+#include "testing_support.h"
+
+namespace scishuffle::mtf {
+namespace {
+
+TEST(MtfTest, RepeatedSymbolBecomesZeros) {
+  const Bytes data(100, 55);
+  const Bytes enc = encode(data);
+  EXPECT_EQ(enc[0], 55);  // first occurrence: its position in the identity list
+  for (std::size_t i = 1; i < enc.size(); ++i) EXPECT_EQ(enc[i], 0u);
+  EXPECT_EQ(decode(enc), data);
+}
+
+class MtfProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(MtfProperty, RoundTrips) {
+  const Bytes random = scishuffle::testing::randomBytes(5000, GetParam());
+  EXPECT_EQ(decode(encode(random)), random);
+  const Bytes runny = scishuffle::testing::runnyBytes(5000, GetParam());
+  EXPECT_EQ(decode(encode(runny)), runny);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtfProperty, ::testing::Range(0u, 10u));
+
+TEST(ZeroRunTest, EncodesRunsInBijectiveBase2) {
+  // 3 zeros: 3 = 1*1 + 1*2 -> RUNA RUNA. 4 zeros: 4 = 2*1 + 1*2 -> RUNB RUNA.
+  Bytes threeZeros(3, 0);
+  auto symbols = zeroRunEncode(threeZeros);
+  EXPECT_EQ(symbols, (std::vector<u32>{kRunA, kRunA, kEob}));
+  Bytes fourZeros(4, 0);
+  symbols = zeroRunEncode(fourZeros);
+  EXPECT_EQ(symbols, (std::vector<u32>{kRunB, kRunA, kEob}));
+}
+
+TEST(ZeroRunTest, RunLengthGrowsLogarithmically) {
+  // A million zeros must need only ~20 symbols — this is what keeps
+  // transform+bzip2ish output at the "five orders of magnitude" scale.
+  const Bytes zeros(1000000, 0);
+  const auto symbols = zeroRunEncode(zeros);
+  EXPECT_LE(symbols.size(), 22u);
+  EXPECT_EQ(zeroRunDecode(symbols), zeros);
+}
+
+class ZeroRunProperty : public ::testing::TestWithParam<u32> {};
+
+TEST_P(ZeroRunProperty, RoundTrips) {
+  // MTF output distribution: lots of zeros, some small values.
+  Bytes data = scishuffle::testing::randomBytes(3000, GetParam());
+  for (auto& b : data) {
+    if (b < 200) b = 0;
+  }
+  EXPECT_EQ(zeroRunDecode(zeroRunEncode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroRunProperty, ::testing::Range(0u, 10u));
+
+TEST(Rle1Test, ShortRunsPassThrough) {
+  const Bytes data = {1, 2, 2, 3, 3, 3, 4};
+  EXPECT_EQ(rle1Encode(data), data);
+  EXPECT_EQ(rle1Decode(rle1Encode(data)), data);
+}
+
+TEST(Rle1Test, LongRunsCollapse) {
+  const Bytes run(200, 9);
+  const Bytes enc = rle1Encode(run);
+  EXPECT_EQ(enc.size(), 5u);  // 4 literals + count byte
+  EXPECT_EQ(enc[4], 196u);
+  EXPECT_EQ(rle1Decode(enc), run);
+}
+
+TEST(Rle1Test, RunOfExactlyFourHasZeroCount) {
+  const Bytes run(4, 7);
+  const Bytes enc = rle1Encode(run);
+  EXPECT_EQ(enc, (Bytes{7, 7, 7, 7, 0}));
+  EXPECT_EQ(rle1Decode(enc), run);
+}
+
+TEST(Rle1Test, VeryLongRunsSplit) {
+  const Bytes run(1000, 3);
+  EXPECT_EQ(rle1Decode(rle1Encode(run)), run);
+  EXPECT_LT(rle1Encode(run).size(), 25u);
+}
+
+class Rle1Property : public ::testing::TestWithParam<u32> {};
+
+TEST_P(Rle1Property, RoundTrips) {
+  EXPECT_EQ(rle1Decode(rle1Encode(scishuffle::testing::randomBytes(4000, GetParam()))),
+            scishuffle::testing::randomBytes(4000, GetParam()));
+  EXPECT_EQ(rle1Decode(rle1Encode(scishuffle::testing::runnyBytes(4000, GetParam()))),
+            scishuffle::testing::runnyBytes(4000, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rle1Property, ::testing::Range(0u, 8u));
+
+TEST(Rle1Test, TruncatedCountThrows) {
+  EXPECT_THROW(rle1Decode(Bytes{5, 5, 5, 5}), FormatError);
+}
+
+TEST(ZeroRunTest, MissingEobThrows) {
+  EXPECT_THROW(zeroRunDecode({kRunA, kRunB}), FormatError);
+}
+
+TEST(ZeroRunTest, BadSymbolThrows) {
+  EXPECT_THROW(zeroRunDecode({300u, kEob}), FormatError);
+}
+
+}  // namespace
+}  // namespace scishuffle::mtf

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "grid/ncfile.h"
+#include "io/streams.h"
+
+namespace scishuffle::grid {
+namespace {
+
+Dataset sampleDataset() {
+  Dataset ds;
+  auto& wind = ds.addVariable("windspeed1", DataType::kFloat32, Shape({6, 8}));
+  gen::fillWindspeed(wind, 4);
+  auto& pressure = ds.addVariable("pressure", DataType::kInt32, Shape({3, 4, 5}));
+  gen::fillLinear(pressure);
+  auto& humidity = ds.addVariable("humidity", DataType::kFloat64, Shape({10}));
+  for (i64 i = 0; i < 10; ++i) humidity.setFloat64({i}, 0.1 * static_cast<double>(i));
+  return ds;
+}
+
+TEST(NcFileTest, RoundTripsAllTypes) {
+  const Dataset original = sampleDataset();
+  Bytes file;
+  MemorySink sink(file);
+  writeDataset(sink, original);
+
+  MemorySource source(file);
+  const Dataset loaded = readDataset(source);
+  EXPECT_EQ(loaded.variableNames(), original.variableNames());
+  for (const auto& name : original.variableNames()) {
+    const Variable& a = original.variable(name);
+    const Variable& b = loaded.variable(name);
+    EXPECT_EQ(a.type(), b.type());
+    EXPECT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(a.raw(), b.raw());
+  }
+}
+
+TEST(NcFileTest, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "scishuffle_ncfile_test.bin";
+  saveDataset(path, sampleDataset());
+  const Dataset loaded = loadDataset(path);
+  EXPECT_EQ(loaded.variable("pressure").int32At({2, 3, 4}), Shape({3, 4, 5}).linearize({2, 3, 4}));
+  std::filesystem::remove(path);
+}
+
+TEST(NcFileTest, EmptyDataset) {
+  Bytes file;
+  MemorySink sink(file);
+  writeDataset(sink, Dataset{});
+  MemorySource source(file);
+  EXPECT_TRUE(readDataset(source).variableNames().empty());
+}
+
+TEST(NcFileTest, CorruptionIsDetected) {
+  Bytes file;
+  MemorySink sink(file);
+  writeDataset(sink, sampleDataset());
+
+  {
+    Bytes bad = file;
+    bad[0] = 'X';  // magic
+    MemorySource source(bad);
+    EXPECT_THROW(readDataset(source), FormatError);
+  }
+  {
+    Bytes bad = file;
+    bad[bad.size() / 2] ^= 0x1;  // payload -> CRC mismatch somewhere
+    MemorySource source(bad);
+    EXPECT_THROW(readDataset(source), FormatError);
+  }
+  {
+    Bytes truncated(file.begin(), file.begin() + static_cast<std::ptrdiff_t>(file.size() / 3));
+    MemorySource source(truncated);
+    EXPECT_THROW(readDataset(source), FormatError);
+  }
+}
+
+}  // namespace
+}  // namespace scishuffle::grid

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "hadoop/report.h"
+#include "hadoop/runtime.h"
+#include "io/primitives.h"
+#include "io/streams.h"
+
+namespace scishuffle::hadoop {
+namespace {
+
+JobResult runTinyJob(bool withCombiner) {
+  JobConfig config;
+  config.num_reducers = 2;
+  if (withCombiner) {
+    config.combiner = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+      emit(key, values.front());
+    };
+  }
+  std::vector<MapTask> tasks;
+  for (int m = 0; m < 3; ++m) {
+    tasks.push_back(MapTask{[m](const EmitFn& emit) {
+      for (int i = 0; i < 10; ++i) {
+        emit(Bytes{static_cast<u8>(i % 4)}, Bytes{static_cast<u8>(m)});
+      }
+    }});
+  }
+  const ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values, const EmitFn& emit) {
+    emit(key, Bytes{static_cast<u8>(values.size())});
+  };
+  return runJob(config, tasks, reduce);
+}
+
+TEST(ReportTest, MentionsEveryPhaseAndCounter) {
+  const auto result = runTinyJob(false);
+  const std::string report = jobReport(result);
+  for (const char* needle : {"job report", "phases:", "map:", "shuffle:", "reduce:", "skew:",
+                             "map cpu", "map output", "reduce input", "30 records"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle << "\n" << report;
+  }
+  // No combiner ran, so the combine line must be absent.
+  EXPECT_EQ(report.find("combine:"), std::string::npos);
+}
+
+TEST(ReportTest, CombinerLineAppearsWhenUsed) {
+  const auto result = runTinyJob(true);
+  EXPECT_NE(jobReport(result).find("combine:"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryLineIsCompact) {
+  const auto result = runTinyJob(false);
+  const std::string line = jobSummaryLine(result);
+  EXPECT_NE(line.find("map records"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(ReportTest, PerTaskStatsArePopulated) {
+  const auto result = runTinyJob(false);
+  ASSERT_EQ(result.map_tasks.size(), 3u);
+  for (const auto& t : result.map_tasks) {
+    ASSERT_EQ(t.segment_bytes.size(), 2u);
+    EXPECT_GT(t.segment_bytes[0] + t.segment_bytes[1], 0u);
+  }
+  ASSERT_EQ(result.reduce_tasks.size(), 2u);
+  u64 shuffled = 0;
+  for (const auto& t : result.reduce_tasks) shuffled += t.shuffled_bytes;
+  EXPECT_EQ(shuffled, result.counters.get(counter::kReduceShuffleBytes));
+}
+
+}  // namespace
+}  // namespace scishuffle::hadoop

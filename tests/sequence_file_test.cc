@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "hadoop/sequence_file.h"
+#include "io/streams.h"
+#include "testing_support.h"
+
+namespace scishuffle::hadoop {
+namespace {
+
+std::vector<KeyValue> sampleRecords(int n, u32 seed) {
+  std::vector<KeyValue> records;
+  for (int i = 0; i < n; ++i) {
+    records.push_back(KeyValue{testing::randomBytes(static_cast<std::size_t>(i % 30), seed + i),
+                               testing::runnyBytes(static_cast<std::size_t>((i * 13) % 200),
+                                                   seed + 1000 + i)});
+  }
+  return records;
+}
+
+Bytes writeAll(const std::vector<KeyValue>& records, const SequenceFileHeader& header,
+               u64 seed = 0) {
+  Bytes file;
+  MemorySink sink(file);
+  SequenceFileWriter writer(sink, header, seed);
+  for (const auto& kv : records) writer.append(kv.key, kv.value);
+  writer.close();
+  return file;
+}
+
+TEST(SequenceFileTest, HeaderRoundTrips) {
+  SequenceFileHeader header{"scikey.AggregateKey", "bytes", "null"};
+  const Bytes file = writeAll({}, header);
+  SequenceFileReader reader(file);
+  EXPECT_EQ(reader.header().key_class, "scikey.AggregateKey");
+  EXPECT_EQ(reader.header().value_class, "bytes");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+class SequenceFileRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SequenceFileRoundTrip, RecordsSurvive) {
+  const auto records = sampleRecords(300, 11);
+  SequenceFileHeader header;
+  header.codec = GetParam();
+  const Bytes file = writeAll(records, header);
+  SequenceFileReader reader(file);
+  for (const auto& expected : records) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, SequenceFileRoundTrip,
+                         ::testing::Values("null", "gzipish", "bzip2ish"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(SequenceFileTest, SyncMarkersAppearPeriodically) {
+  const auto records = sampleRecords(500, 3);
+  const Bytes file = writeAll(records, SequenceFileHeader{});
+  // The file must contain multiple syncs: total record payload far exceeds
+  // the sync interval.
+  SequenceFileReader reader(file);
+  int syncs = 0;
+  while (reader.seekToNextSync()) ++syncs;
+  EXPECT_GT(syncs, 3);
+}
+
+TEST(SequenceFileTest, SeekToSyncRecoversAfterCorruption) {
+  const auto records = sampleRecords(400, 7);
+  Bytes file = writeAll(records, SequenceFileHeader{});
+
+  // Clobber a byte early in the record area (after the ~30-byte header).
+  file[100] ^= 0xFF;
+
+  SequenceFileReader reader(file);
+  std::size_t recovered = 0;
+  for (;;) {
+    try {
+      const auto kv = reader.next();
+      if (!kv) break;
+      ++recovered;
+    } catch (const FormatError&) {
+      if (!reader.seekToNextSync()) break;
+    }
+  }
+  // We must recover a large tail of the file without crashing.
+  EXPECT_GT(recovered, records.size() / 2);
+  EXPECT_LT(recovered, records.size() + 1);
+}
+
+TEST(SequenceFileTest, DifferentSeedsDifferentSyncs) {
+  const auto records = sampleRecords(5, 1);
+  const Bytes a = writeAll(records, SequenceFileHeader{}, 1);
+  const Bytes b = writeAll(records, SequenceFileHeader{}, 2);
+  EXPECT_NE(a, b);
+  // But both read back fine.
+  SequenceFileReader ra(a), rb(b);
+  for (const auto& expected : records) {
+    EXPECT_EQ(*ra.next(), expected);
+    EXPECT_EQ(*rb.next(), expected);
+  }
+}
+
+TEST(SequenceFileTest, WriteJobOutputsConcatenatesParts) {
+  std::vector<std::vector<KeyValue>> outputs(3);
+  outputs[0] = sampleRecords(10, 1);
+  outputs[2] = sampleRecords(7, 2);
+  Bytes file;
+  MemorySink sink(file);
+  writeJobOutputs(sink, outputs, SequenceFileHeader{});
+  SequenceFileReader reader(file);
+  std::size_t count = 0;
+  while (reader.next()) ++count;
+  EXPECT_EQ(count, 17u);
+}
+
+TEST(SequenceFileTest, BadMagicThrows) {
+  Bytes junk = {'X', 'X', 'X', 'X', 'X', 'X', 0, 0};
+  EXPECT_THROW(SequenceFileReader{junk}, FormatError);
+}
+
+}  // namespace
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "sfc/clustering.h"
+#include "sfc/curve.h"
+
+namespace scishuffle::sfc {
+namespace {
+
+// (kind, dims, bits)
+using CurveCase = std::tuple<CurveKind, int, int>;
+
+class CurveBijection : public ::testing::TestWithParam<CurveCase> {};
+
+TEST_P(CurveBijection, ExhaustiveOverSmallCubes) {
+  const auto& [kind, dims, bits] = GetParam();
+  const auto curve = makeCurve(kind, dims, bits);
+  const u64 cells = u64{1} << (dims * bits);
+  ASSERT_LE(cells, u64{1} << 20) << "test cube too large";
+
+  std::set<std::vector<u32>> seen;
+  std::vector<u32> coords(static_cast<std::size_t>(dims));
+  for (u64 idx = 0; idx < cells; ++idx) {
+    curve->decode(static_cast<CurveIndex>(idx), coords);
+    for (const u32 c : coords) ASSERT_LT(c, u32{1} << bits);
+    ASSERT_TRUE(seen.insert(coords).second) << "decode not injective at " << idx;
+    ASSERT_EQ(curve->encode(coords), static_cast<CurveIndex>(idx)) << "roundtrip at " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallCubes, CurveBijection,
+    ::testing::Values(CurveCase{CurveKind::kZOrder, 1, 6}, CurveCase{CurveKind::kZOrder, 2, 5},
+                      CurveCase{CurveKind::kZOrder, 3, 4}, CurveCase{CurveKind::kZOrder, 4, 3},
+                      CurveCase{CurveKind::kHilbert, 1, 6}, CurveCase{CurveKind::kHilbert, 2, 5},
+                      CurveCase{CurveKind::kHilbert, 3, 4}, CurveCase{CurveKind::kHilbert, 4, 3},
+                      CurveCase{CurveKind::kGray, 2, 5}, CurveCase{CurveKind::kGray, 3, 4},
+                      CurveCase{CurveKind::kGray, 4, 3},
+                      CurveCase{CurveKind::kRowMajor, 2, 5}, CurveCase{CurveKind::kRowMajor, 3, 4}),
+    [](const ::testing::TestParamInfo<CurveCase>& info) {
+      return curveKindName(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "b" + std::to_string(std::get<2>(info.param));
+    });
+
+class CurveContinuity : public ::testing::TestWithParam<CurveCase> {};
+
+TEST_P(CurveContinuity, HilbertNeighborsDifferByOneStep) {
+  const auto& [kind, dims, bits] = GetParam();
+  const auto curve = makeCurve(kind, dims, bits);
+  const u64 cells = u64{1} << (dims * bits);
+  std::vector<u32> prev(static_cast<std::size_t>(dims));
+  std::vector<u32> cur(static_cast<std::size_t>(dims));
+  curve->decode(0, prev);
+  for (u64 idx = 1; idx < cells; ++idx) {
+    curve->decode(static_cast<CurveIndex>(idx), cur);
+    u64 manhattan = 0;
+    for (int d = 0; d < dims; ++d) {
+      const i64 diff = static_cast<i64>(cur[static_cast<std::size_t>(d)]) -
+                       static_cast<i64>(prev[static_cast<std::size_t>(d)]);
+      manhattan += static_cast<u64>(diff < 0 ? -diff : diff);
+    }
+    ASSERT_EQ(manhattan, 1u) << "Hilbert discontinuity at index " << idx;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hilbert, CurveContinuity,
+                         ::testing::Values(CurveCase{CurveKind::kHilbert, 2, 5},
+                                           CurveCase{CurveKind::kHilbert, 3, 3},
+                                           CurveCase{CurveKind::kHilbert, 4, 2}),
+                         [](const ::testing::TestParamInfo<CurveCase>& info) {
+                           return "d" + std::to_string(std::get<1>(info.param)) + "b" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+TEST(ZOrderTest, KnownPattern2D) {
+  // Classic 2x2 Z: (0,0)=0 (0,1)=1 (1,0)=2 (1,1)=3 with dim 0 in the
+  // higher lane (dimension 0 owns the least significant bit... verify the
+  // convention we chose: bit of dim d lands at position b*dims+d).
+  const auto curve = makeCurve(CurveKind::kZOrder, 2, 1);
+  const std::vector<u32> c00{0, 0}, c01{0, 1}, c10{1, 0}, c11{1, 1};
+  EXPECT_EQ(curve->encode(c00), 0u);
+  EXPECT_EQ(curve->encode(c10), 1u);  // dim 0 = LSB lane
+  EXPECT_EQ(curve->encode(c01), 2u);
+  EXPECT_EQ(curve->encode(c11), 3u);
+}
+
+TEST(RowMajorTest, LastDimensionIsContiguous) {
+  const auto curve = makeCurve(CurveKind::kRowMajor, 2, 4);
+  const std::vector<u32> a{3, 5}, b{3, 6};
+  EXPECT_EQ(curve->encode(b), curve->encode(a) + 1);
+}
+
+TEST(ClusteringTest, FullRowIsOneRunUnderRowMajor) {
+  const auto curve = makeCurve(CurveKind::kRowMajor, 2, 4);
+  const std::vector<u32> corner{7, 0}, size{1, 16};
+  const auto ranges = rangesForBox(*curve, corner, size);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].last - ranges[0].first, 16u);
+}
+
+TEST(ClusteringTest, AlignedQuadrantIsOneRunUnderZOrder) {
+  const auto curve = makeCurve(CurveKind::kZOrder, 2, 4);
+  const std::vector<u32> corner{8, 8}, size{8, 8};
+  const auto ranges = rangesForBox(*curve, corner, size);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].last - ranges[0].first, 64u);
+}
+
+TEST(ClusteringTest, RangesPartitionTheBox) {
+  for (const CurveKind kind : {CurveKind::kZOrder, CurveKind::kHilbert, CurveKind::kRowMajor}) {
+    const auto curve = makeCurve(kind, 3, 4);
+    const std::vector<u32> corner{3, 1, 5}, size{4, 7, 3};
+    const auto ranges = rangesForBox(*curve, corner, size);
+    u64 covered = 0;
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      EXPECT_LT(ranges[i].first, ranges[i].last);
+      if (i > 0) EXPECT_GT(ranges[i].first, ranges[i - 1].last);  // gaps between runs
+      covered += static_cast<u64>(ranges[i].last - ranges[i].first);
+    }
+    EXPECT_EQ(covered, 4u * 7u * 3u) << curveKindName(kind);
+  }
+}
+
+TEST(ClusteringTest, HilbertClustersAtLeastAsWellAsZOrder) {
+  // Moon et al.'s headline: Hilbert needs fewer runs per query box.
+  const auto z = makeCurve(CurveKind::kZOrder, 2, 6);
+  const auto h = makeCurve(CurveKind::kHilbert, 2, 6);
+  const std::vector<u32> boxSize{8, 8};
+  const double zRuns = meanClusterCount(*z, boxSize, 200, 42);
+  const double hRuns = meanClusterCount(*h, boxSize, 200, 42);
+  EXPECT_LE(hRuns, zRuns);
+}
+
+TEST(CurveTest, NamesRoundTrip) {
+  for (const CurveKind kind :
+       {CurveKind::kZOrder, CurveKind::kHilbert, CurveKind::kGray, CurveKind::kRowMajor}) {
+    EXPECT_EQ(curveKindFromName(curveKindName(kind)), kind);
+  }
+  EXPECT_THROW(curveKindFromName("peano"), std::out_of_range);
+}
+
+TEST(CurveTest, ToStringHandles128Bits) {
+  EXPECT_EQ(toString(0), "0");
+  EXPECT_EQ(toString(1234567), "1234567");
+  const CurveIndex big = (CurveIndex{1} << 100);
+  EXPECT_EQ(toString(big), "1267650600228229401496703205376");
+}
+
+}  // namespace
+}  // namespace scishuffle::sfc

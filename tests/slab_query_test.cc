@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "grid/dataset.h"
+#include "hadoop/runtime.h"
+#include "scikey/slab_query.h"
+
+namespace scishuffle::scikey {
+namespace {
+
+grid::Variable makeInput(std::vector<i64> dims, u32 seed) {
+  grid::Variable v("field", grid::DataType::kInt32, grid::Shape(std::move(dims)));
+  grid::gen::fillRandomInt(v, seed, 500);
+  return v;
+}
+
+TEST(KeptDimsTest, ComplementsReducedSet) {
+  EXPECT_EQ(keptDims(3, {1}), (std::vector<int>{0, 2}));
+  EXPECT_EQ(keptDims(4, {0, 3}), (std::vector<int>{1, 2}));
+  EXPECT_EQ(keptDims(2, {1}), (std::vector<int>{0}));
+}
+
+// (reduced dims key, mappers, reducers, op, combiner)
+using SlabCase = std::tuple<int, int, int, CellOp, bool>;
+
+std::vector<int> reducedDimsFor(int which) {
+  switch (which) {
+    case 0:
+      return {2};     // average over z
+    case 1:
+      return {0};     // reduce the split dimension itself
+    default:
+      return {0, 2};  // keep only the middle dimension
+  }
+}
+
+class SlabEquivalence : public ::testing::TestWithParam<SlabCase> {};
+
+TEST_P(SlabEquivalence, BothConfigurationsMatchOracle) {
+  const auto& [dimsKey, mappers, reducers, op, combiner] = GetParam();
+  const grid::Variable input = makeInput({12, 10, 14}, 5);
+
+  SlabQueryConfig config;
+  config.reduced_dims = reducedDimsFor(dimsKey);
+  config.op = op;
+  config.num_mappers = mappers;
+  config.use_combiner = combiner;
+
+  hadoop::JobConfig base;
+  base.num_reducers = reducers;
+
+  const auto oracle = slabOracle(input, config);
+  const int outRank = static_cast<int>(keptDims(3, config.reduced_dims).size());
+
+  PreparedJob simple = buildSimpleSlabJob(input, config, base);
+  const auto simpleResult = hadoop::runJob(simple.job, simple.map_tasks, simple.reduce);
+  EXPECT_EQ(flattenSimpleOutputs(simpleResult, outRank), oracle);
+
+  PreparedJob agg = buildAggregateSlabJob(input, config, base);
+  const auto aggResult = hadoop::runJob(agg.job, agg.map_tasks, agg.reduce);
+  EXPECT_EQ(flattenAggregateOutputs(aggResult, *agg.space), oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SlabEquivalence,
+    ::testing::Values(SlabCase{0, 1, 1, CellOp::kSum, false},
+                      SlabCase{0, 4, 3, CellOp::kSum, true},
+                      SlabCase{0, 4, 3, CellOp::kMean, false},
+                      SlabCase{0, 3, 2, CellOp::kMedian, false},
+                      SlabCase{1, 4, 3, CellOp::kSum, true},
+                      SlabCase{2, 5, 4, CellOp::kSum, false}),
+    [](const auto& info) {
+      const CellOp op = std::get<3>(info.param);
+      const char* opName = op == CellOp::kSum ? "sum" : (op == CellOp::kMean ? "mean" : "median");
+      return "d" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param)) + "r" +
+             std::to_string(std::get<2>(info.param)) + "_" + opName +
+             (std::get<4>(info.param) ? "_comb" : "");
+    });
+
+TEST(SlabQueryTest, AggregateKeysNeedNoOverlapSplitting) {
+  // Projection is many-to-one but never overlapping: the grouper should see
+  // zero overlap splits (unlike sliding windows).
+  const grid::Variable input = makeInput({16, 16, 8}, 3);
+  SlabQueryConfig config;
+  config.reduced_dims = {2};
+  config.op = CellOp::kSum;
+  hadoop::JobConfig base;
+  base.num_reducers = 3;
+  PreparedJob job = buildAggregateSlabJob(input, config, base);
+  const auto result = hadoop::runJob(job.job, job.map_tasks, job.reduce);
+  EXPECT_EQ(result.counters.get(hadoop::counter::kKeySplitsOverlap), 0u);
+}
+
+TEST(SlabQueryTest, CombinerCollapsesLayersBeforeTheShuffle) {
+  const grid::Variable input = makeInput({16, 16, 16}, 9);
+  SlabQueryConfig config;
+  config.reduced_dims = {2};
+  config.op = CellOp::kSum;
+  hadoop::JobConfig base;
+  base.num_reducers = 2;
+
+  PreparedJob plain = buildAggregateSlabJob(input, config, base);
+  const auto plainResult = hadoop::runJob(plain.job, plain.map_tasks, plain.reduce);
+  config.use_combiner = true;
+  PreparedJob combined = buildAggregateSlabJob(input, config, base);
+  const auto combinedResult = hadoop::runJob(combined.job, combined.map_tasks, combined.reduce);
+
+  // Each (x,y) receives one value per z (16 layers); the combiner collapses
+  // them to one partial sum per mapper, shrinking materialized data a lot.
+  EXPECT_LT(combinedResult.counters.get(hadoop::counter::kMapOutputMaterializedBytes) * 4,
+            plainResult.counters.get(hadoop::counter::kMapOutputMaterializedBytes));
+  EXPECT_EQ(flattenAggregateOutputs(combinedResult, *combined.space),
+            flattenAggregateOutputs(plainResult, *plain.space));
+}
+
+TEST(SlabQueryTest, InvalidConfigsAreRejected) {
+  const grid::Variable input = makeInput({4, 4}, 1);
+  SlabQueryConfig config;
+  hadoop::JobConfig base;
+  config.reduced_dims = {};
+  EXPECT_THROW(buildSimpleSlabJob(input, config, base), std::logic_error);
+  config.reduced_dims = {0, 1};
+  EXPECT_THROW(buildSimpleSlabJob(input, config, base), std::logic_error);
+  config.reduced_dims = {5};
+  EXPECT_THROW(buildSimpleSlabJob(input, config, base), std::logic_error);
+  config.reduced_dims = {1};
+  config.op = CellOp::kMedian;
+  config.use_combiner = true;
+  EXPECT_THROW(buildAggregateSlabJob(input, config, base), std::logic_error);
+}
+
+}  // namespace
+}  // namespace scishuffle::scikey

@@ -1,0 +1,74 @@
+// Shared helpers for scishuffle tests: deterministic data generators that
+// mimic the byte patterns the paper cares about.
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "io/common.h"
+#include "io/primitives.h"
+#include "io/streams.h"
+
+namespace scishuffle::testing {
+
+/// Uniform random bytes from a fixed seed.
+inline Bytes randomBytes(std::size_t n, u32 seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 255);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<u8>(dist(rng));
+  return out;
+}
+
+/// Low-entropy bytes: long runs with occasional switches.
+inline Bytes runnyBytes(std::size_t n, u32 seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> value(0, 255);
+  std::uniform_int_distribution<int> runLen(1, 300);
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const u8 v = static_cast<u8>(value(rng));
+    const std::size_t len = std::min<std::size_t>(static_cast<std::size_t>(runLen(rng)),
+                                                  n - out.size());
+    out.insert(out.end(), len, v);
+  }
+  return out;
+}
+
+/// The paper's canonical input: serialized int32 triples from a row-major
+/// walk of an nx*ny*nz grid (Fig. 3 uses 100^3 -> 12,000,000 bytes).
+inline Bytes gridWalkTriples(i32 nx, i32 ny, i32 nz) {
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+              static_cast<std::size_t>(nz) * 12);
+  MemorySink sink(out);
+  for (i32 x = 0; x < nx; ++x) {
+    for (i32 y = 0; y < ny; ++y) {
+      for (i32 z = 0; z < nz; ++z) {
+        writeI32(sink, x);
+        writeI32(sink, y);
+        writeI32(sink, z);
+      }
+    }
+  }
+  return out;
+}
+
+/// Key stream with a variable-name prefix per key, like Fig. 2's
+/// "windspeed1" records.
+inline Bytes namedKeyStream(const std::string& name, i32 nx, i32 ny, float value) {
+  Bytes out;
+  MemorySink sink(out);
+  for (i32 x = 0; x < nx; ++x) {
+    for (i32 y = 0; y < ny; ++y) {
+      writeText(sink, name);
+      writeI32(sink, x);
+      writeI32(sink, y);
+      writeF32(sink, value + static_cast<float>(x + y));
+    }
+  }
+  return out;
+}
+
+}  // namespace scishuffle::testing

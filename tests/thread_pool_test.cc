@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "hadoop/thread_pool.h"
+
+namespace scishuffle::hadoop {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ConcurrencyIsBoundedBySlots) {
+  constexpr int kSlots = 3;
+  ThreadPool pool(kSlots);
+  std::atomic<int> inFlight{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] {
+      const int now = inFlight.fetch_add(1) + 1;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      inFlight.fetch_sub(1);
+    });
+  }
+  pool.wait();
+  EXPECT_LE(peak.load(), kSlots);
+  EXPECT_GE(peak.load(), 2);  // it did actually run in parallel
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitWorkIndirectly) {
+  // Destructor drains outstanding work even without an explicit wait().
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleSlotIsSerial) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });  // safe: one worker
+  }
+  pool.wait();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace scishuffle::hadoop
