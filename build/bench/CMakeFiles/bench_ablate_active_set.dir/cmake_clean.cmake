@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_active_set.dir/bench_ablate_active_set.cc.o"
+  "CMakeFiles/bench_ablate_active_set.dir/bench_ablate_active_set.cc.o.d"
+  "bench_ablate_active_set"
+  "bench_ablate_active_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_active_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_alignment.dir/bench_ablate_alignment.cc.o"
+  "CMakeFiles/bench_ablate_alignment.dir/bench_ablate_alignment.cc.o.d"
+  "bench_ablate_alignment"
+  "bench_ablate_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

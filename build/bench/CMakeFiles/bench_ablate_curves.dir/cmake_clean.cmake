@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_curves.dir/bench_ablate_curves.cc.o"
+  "CMakeFiles/bench_ablate_curves.dir/bench_ablate_curves.cc.o.d"
+  "bench_ablate_curves"
+  "bench_ablate_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

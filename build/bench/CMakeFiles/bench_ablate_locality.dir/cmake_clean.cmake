@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_locality.dir/bench_ablate_locality.cc.o"
+  "CMakeFiles/bench_ablate_locality.dir/bench_ablate_locality.cc.o.d"
+  "bench_ablate_locality"
+  "bench_ablate_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

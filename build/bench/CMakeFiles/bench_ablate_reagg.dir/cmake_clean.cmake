@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_reagg.dir/bench_ablate_reagg.cc.o"
+  "CMakeFiles/bench_ablate_reagg.dir/bench_ablate_reagg.cc.o.d"
+  "bench_ablate_reagg"
+  "bench_ablate_reagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_reagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_splits.dir/bench_ablate_splits.cc.o"
+  "CMakeFiles/bench_ablate_splits.dir/bench_ablate_splits.cc.o.d"
+  "bench_ablate_splits"
+  "bench_ablate_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

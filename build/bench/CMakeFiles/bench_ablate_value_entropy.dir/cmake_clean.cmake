@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_value_entropy.dir/bench_ablate_value_entropy.cc.o"
+  "CMakeFiles/bench_ablate_value_entropy.dir/bench_ablate_value_entropy.cc.o.d"
+  "bench_ablate_value_entropy"
+  "bench_ablate_value_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_value_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

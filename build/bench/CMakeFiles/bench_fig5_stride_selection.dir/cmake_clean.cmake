@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_stride_selection.dir/bench_fig5_stride_selection.cc.o"
+  "CMakeFiles/bench_fig5_stride_selection.dir/bench_fig5_stride_selection.cc.o.d"
+  "bench_fig5_stride_selection"
+  "bench_fig5_stride_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_stride_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_overhead.dir/bench_intro_overhead.cc.o"
+  "CMakeFiles/bench_intro_overhead.dir/bench_intro_overhead.cc.o.d"
+  "bench_intro_overhead"
+  "bench_intro_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

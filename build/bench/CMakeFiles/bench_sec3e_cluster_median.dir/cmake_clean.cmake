@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3e_cluster_median.dir/bench_sec3e_cluster_median.cc.o"
+  "CMakeFiles/bench_sec3e_cluster_median.dir/bench_sec3e_cluster_median.cc.o.d"
+  "bench_sec3e_cluster_median"
+  "bench_sec3e_cluster_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3e_cluster_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

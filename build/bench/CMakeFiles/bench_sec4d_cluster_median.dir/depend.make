@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec4d_cluster_median.
+# This may be replaced when dependencies are built.

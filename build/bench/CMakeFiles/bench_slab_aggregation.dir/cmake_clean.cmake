@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slab_aggregation.dir/bench_slab_aggregation.cc.o"
+  "CMakeFiles/bench_slab_aggregation.dir/bench_slab_aggregation.cc.o.d"
+  "bench_slab_aggregation"
+  "bench_slab_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slab_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keystream_inspector.dir/keystream_inspector.cpp.o"
+  "CMakeFiles/keystream_inspector.dir/keystream_inspector.cpp.o.d"
+  "keystream_inspector"
+  "keystream_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keystream_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_cli.dir/scishuffle_cli.cpp.o"
+  "CMakeFiles/scishuffle_cli.dir/scishuffle_cli.cpp.o.d"
+  "scishuffle_cli"
+  "scishuffle_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slab_average.dir/slab_average.cpp.o"
+  "CMakeFiles/slab_average.dir/slab_average.cpp.o.d"
+  "slab_average"
+  "slab_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slab_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

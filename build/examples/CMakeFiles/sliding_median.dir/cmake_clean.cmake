@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_median.dir/sliding_median.cpp.o"
+  "CMakeFiles/sliding_median.dir/sliding_median.cpp.o.d"
+  "sliding_median"
+  "sliding_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windspeed_subset.dir/windspeed_subset.cpp.o"
+  "CMakeFiles/windspeed_subset.dir/windspeed_subset.cpp.o.d"
+  "windspeed_subset"
+  "windspeed_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windspeed_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

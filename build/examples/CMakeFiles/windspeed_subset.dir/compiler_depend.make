@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for windspeed_subset.
+# This may be replaced when dependencies are built.

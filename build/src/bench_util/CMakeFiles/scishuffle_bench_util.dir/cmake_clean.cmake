@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/scishuffle_bench_util.dir/bench_util.cc.o.d"
+  "libscishuffle_bench_util.a"
+  "libscishuffle_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

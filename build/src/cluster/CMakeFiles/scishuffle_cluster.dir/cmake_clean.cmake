@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_cluster.dir/cost_model.cc.o"
+  "CMakeFiles/scishuffle_cluster.dir/cost_model.cc.o.d"
+  "CMakeFiles/scishuffle_cluster.dir/simulator.cc.o"
+  "CMakeFiles/scishuffle_cluster.dir/simulator.cc.o.d"
+  "libscishuffle_cluster.a"
+  "libscishuffle_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bwt.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/bwt.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/bwt.cc.o.d"
+  "/root/repo/src/compress/bzip2ish.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/bzip2ish.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/bzip2ish.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/deflate.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/deflate.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/deflate.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/lz77.cc.o.d"
+  "/root/repo/src/compress/mtf.cc" "src/compress/CMakeFiles/scishuffle_compress.dir/mtf.cc.o" "gcc" "src/compress/CMakeFiles/scishuffle_compress.dir/mtf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

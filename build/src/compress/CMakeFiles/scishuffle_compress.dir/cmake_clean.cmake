@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_compress.dir/bwt.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/bwt.cc.o.d"
+  "CMakeFiles/scishuffle_compress.dir/bzip2ish.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/bzip2ish.cc.o.d"
+  "CMakeFiles/scishuffle_compress.dir/codec.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/codec.cc.o.d"
+  "CMakeFiles/scishuffle_compress.dir/deflate.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/deflate.cc.o.d"
+  "CMakeFiles/scishuffle_compress.dir/huffman.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/scishuffle_compress.dir/lz77.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/lz77.cc.o.d"
+  "CMakeFiles/scishuffle_compress.dir/mtf.cc.o"
+  "CMakeFiles/scishuffle_compress.dir/mtf.cc.o.d"
+  "libscishuffle_compress.a"
+  "libscishuffle_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

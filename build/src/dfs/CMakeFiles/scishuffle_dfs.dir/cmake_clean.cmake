@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_dfs.dir/mini_dfs.cc.o"
+  "CMakeFiles/scishuffle_dfs.dir/mini_dfs.cc.o.d"
+  "libscishuffle_dfs.a"
+  "libscishuffle_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/box.cc" "src/grid/CMakeFiles/scishuffle_grid.dir/box.cc.o" "gcc" "src/grid/CMakeFiles/scishuffle_grid.dir/box.cc.o.d"
+  "/root/repo/src/grid/dataset.cc" "src/grid/CMakeFiles/scishuffle_grid.dir/dataset.cc.o" "gcc" "src/grid/CMakeFiles/scishuffle_grid.dir/dataset.cc.o.d"
+  "/root/repo/src/grid/ncfile.cc" "src/grid/CMakeFiles/scishuffle_grid.dir/ncfile.cc.o" "gcc" "src/grid/CMakeFiles/scishuffle_grid.dir/ncfile.cc.o.d"
+  "/root/repo/src/grid/shape.cc" "src/grid/CMakeFiles/scishuffle_grid.dir/shape.cc.o" "gcc" "src/grid/CMakeFiles/scishuffle_grid.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_grid.dir/box.cc.o"
+  "CMakeFiles/scishuffle_grid.dir/box.cc.o.d"
+  "CMakeFiles/scishuffle_grid.dir/dataset.cc.o"
+  "CMakeFiles/scishuffle_grid.dir/dataset.cc.o.d"
+  "CMakeFiles/scishuffle_grid.dir/ncfile.cc.o"
+  "CMakeFiles/scishuffle_grid.dir/ncfile.cc.o.d"
+  "CMakeFiles/scishuffle_grid.dir/shape.cc.o"
+  "CMakeFiles/scishuffle_grid.dir/shape.cc.o.d"
+  "libscishuffle_grid.a"
+  "libscishuffle_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

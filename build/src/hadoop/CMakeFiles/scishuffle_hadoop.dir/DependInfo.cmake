@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/counters.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/counters.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/counters.cc.o.d"
+  "/root/repo/src/hadoop/ifile.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/ifile.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/ifile.cc.o.d"
+  "/root/repo/src/hadoop/merge.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/merge.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/merge.cc.o.d"
+  "/root/repo/src/hadoop/report.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/report.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/report.cc.o.d"
+  "/root/repo/src/hadoop/runtime.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/runtime.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/runtime.cc.o.d"
+  "/root/repo/src/hadoop/sequence_file.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/sequence_file.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/sequence_file.cc.o.d"
+  "/root/repo/src/hadoop/spill.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/spill.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/spill.cc.o.d"
+  "/root/repo/src/hadoop/thread_pool.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/thread_pool.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/thread_pool.cc.o.d"
+  "/root/repo/src/hadoop/types.cc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/types.cc.o" "gcc" "src/hadoop/CMakeFiles/scishuffle_hadoop.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/scishuffle_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/scishuffle_transform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

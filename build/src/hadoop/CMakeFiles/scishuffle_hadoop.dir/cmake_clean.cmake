@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_hadoop.dir/counters.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/counters.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/ifile.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/ifile.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/merge.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/merge.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/report.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/report.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/runtime.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/runtime.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/sequence_file.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/sequence_file.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/spill.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/spill.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/thread_pool.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/thread_pool.cc.o.d"
+  "CMakeFiles/scishuffle_hadoop.dir/types.cc.o"
+  "CMakeFiles/scishuffle_hadoop.dir/types.cc.o.d"
+  "libscishuffle_hadoop.a"
+  "libscishuffle_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

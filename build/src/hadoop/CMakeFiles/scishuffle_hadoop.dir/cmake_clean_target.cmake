@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscishuffle_hadoop.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bitio.cc" "src/io/CMakeFiles/scishuffle_io.dir/bitio.cc.o" "gcc" "src/io/CMakeFiles/scishuffle_io.dir/bitio.cc.o.d"
+  "/root/repo/src/io/crc32.cc" "src/io/CMakeFiles/scishuffle_io.dir/crc32.cc.o" "gcc" "src/io/CMakeFiles/scishuffle_io.dir/crc32.cc.o.d"
+  "/root/repo/src/io/streams.cc" "src/io/CMakeFiles/scishuffle_io.dir/streams.cc.o" "gcc" "src/io/CMakeFiles/scishuffle_io.dir/streams.cc.o.d"
+  "/root/repo/src/io/varint.cc" "src/io/CMakeFiles/scishuffle_io.dir/varint.cc.o" "gcc" "src/io/CMakeFiles/scishuffle_io.dir/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

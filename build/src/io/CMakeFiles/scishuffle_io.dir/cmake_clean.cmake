@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_io.dir/bitio.cc.o"
+  "CMakeFiles/scishuffle_io.dir/bitio.cc.o.d"
+  "CMakeFiles/scishuffle_io.dir/crc32.cc.o"
+  "CMakeFiles/scishuffle_io.dir/crc32.cc.o.d"
+  "CMakeFiles/scishuffle_io.dir/streams.cc.o"
+  "CMakeFiles/scishuffle_io.dir/streams.cc.o.d"
+  "CMakeFiles/scishuffle_io.dir/varint.cc.o"
+  "CMakeFiles/scishuffle_io.dir/varint.cc.o.d"
+  "libscishuffle_io.a"
+  "libscishuffle_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scikey/aggregate_grouper.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/aggregate_grouper.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/aggregate_grouper.cc.o.d"
+  "/root/repo/src/scikey/aggregate_key.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/aggregate_key.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/aggregate_key.cc.o.d"
+  "/root/repo/src/scikey/aggregator.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/aggregator.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/aggregator.cc.o.d"
+  "/root/repo/src/scikey/box_coalescer.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/box_coalescer.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/box_coalescer.cc.o.d"
+  "/root/repo/src/scikey/cellwise.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/cellwise.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/cellwise.cc.o.d"
+  "/root/repo/src/scikey/curve_space.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/curve_space.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/curve_space.cc.o.d"
+  "/root/repo/src/scikey/input_planner.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/input_planner.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/input_planner.cc.o.d"
+  "/root/repo/src/scikey/simple_key.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/simple_key.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/simple_key.cc.o.d"
+  "/root/repo/src/scikey/slab_query.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/slab_query.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/slab_query.cc.o.d"
+  "/root/repo/src/scikey/sliding_query.cc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/sliding_query.cc.o" "gcc" "src/scikey/CMakeFiles/scishuffle_scikey.dir/sliding_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scishuffle_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/scishuffle_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/scishuffle_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/scishuffle_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/scishuffle_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

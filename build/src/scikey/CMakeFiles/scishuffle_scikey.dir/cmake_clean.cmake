@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_scikey.dir/aggregate_grouper.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/aggregate_grouper.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/aggregate_key.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/aggregate_key.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/aggregator.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/aggregator.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/box_coalescer.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/box_coalescer.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/cellwise.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/cellwise.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/curve_space.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/curve_space.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/input_planner.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/input_planner.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/simple_key.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/simple_key.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/slab_query.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/slab_query.cc.o.d"
+  "CMakeFiles/scishuffle_scikey.dir/sliding_query.cc.o"
+  "CMakeFiles/scishuffle_scikey.dir/sliding_query.cc.o.d"
+  "libscishuffle_scikey.a"
+  "libscishuffle_scikey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_scikey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

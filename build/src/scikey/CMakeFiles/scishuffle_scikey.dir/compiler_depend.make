@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scishuffle_scikey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfc/clustering.cc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/clustering.cc.o" "gcc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/clustering.cc.o.d"
+  "/root/repo/src/sfc/curve.cc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/curve.cc.o" "gcc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/curve.cc.o.d"
+  "/root/repo/src/sfc/gray.cc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/gray.cc.o" "gcc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/gray.cc.o.d"
+  "/root/repo/src/sfc/hilbert.cc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/hilbert.cc.o" "gcc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/hilbert.cc.o.d"
+  "/root/repo/src/sfc/row_major.cc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/row_major.cc.o" "gcc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/row_major.cc.o.d"
+  "/root/repo/src/sfc/zorder.cc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/zorder.cc.o" "gcc" "src/sfc/CMakeFiles/scishuffle_sfc.dir/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_sfc.dir/clustering.cc.o"
+  "CMakeFiles/scishuffle_sfc.dir/clustering.cc.o.d"
+  "CMakeFiles/scishuffle_sfc.dir/curve.cc.o"
+  "CMakeFiles/scishuffle_sfc.dir/curve.cc.o.d"
+  "CMakeFiles/scishuffle_sfc.dir/gray.cc.o"
+  "CMakeFiles/scishuffle_sfc.dir/gray.cc.o.d"
+  "CMakeFiles/scishuffle_sfc.dir/hilbert.cc.o"
+  "CMakeFiles/scishuffle_sfc.dir/hilbert.cc.o.d"
+  "CMakeFiles/scishuffle_sfc.dir/row_major.cc.o"
+  "CMakeFiles/scishuffle_sfc.dir/row_major.cc.o.d"
+  "CMakeFiles/scishuffle_sfc.dir/zorder.cc.o"
+  "CMakeFiles/scishuffle_sfc.dir/zorder.cc.o.d"
+  "libscishuffle_sfc.a"
+  "libscishuffle_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

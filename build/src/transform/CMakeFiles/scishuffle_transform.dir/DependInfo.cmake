@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/predictive_transform.cc" "src/transform/CMakeFiles/scishuffle_transform.dir/predictive_transform.cc.o" "gcc" "src/transform/CMakeFiles/scishuffle_transform.dir/predictive_transform.cc.o.d"
+  "/root/repo/src/transform/stride_hints.cc" "src/transform/CMakeFiles/scishuffle_transform.dir/stride_hints.cc.o" "gcc" "src/transform/CMakeFiles/scishuffle_transform.dir/stride_hints.cc.o.d"
+  "/root/repo/src/transform/stride_model.cc" "src/transform/CMakeFiles/scishuffle_transform.dir/stride_model.cc.o" "gcc" "src/transform/CMakeFiles/scishuffle_transform.dir/stride_model.cc.o.d"
+  "/root/repo/src/transform/transform_codec.cc" "src/transform/CMakeFiles/scishuffle_transform.dir/transform_codec.cc.o" "gcc" "src/transform/CMakeFiles/scishuffle_transform.dir/transform_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/scishuffle_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scishuffle_transform.dir/predictive_transform.cc.o"
+  "CMakeFiles/scishuffle_transform.dir/predictive_transform.cc.o.d"
+  "CMakeFiles/scishuffle_transform.dir/stride_hints.cc.o"
+  "CMakeFiles/scishuffle_transform.dir/stride_hints.cc.o.d"
+  "CMakeFiles/scishuffle_transform.dir/stride_model.cc.o"
+  "CMakeFiles/scishuffle_transform.dir/stride_model.cc.o.d"
+  "CMakeFiles/scishuffle_transform.dir/transform_codec.cc.o"
+  "CMakeFiles/scishuffle_transform.dir/transform_codec.cc.o.d"
+  "libscishuffle_transform.a"
+  "libscishuffle_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scishuffle_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_coalescer_test.dir/box_coalescer_test.cc.o"
+  "CMakeFiles/box_coalescer_test.dir/box_coalescer_test.cc.o.d"
+  "box_coalescer_test"
+  "box_coalescer_test.pdb"
+  "box_coalescer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_coalescer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifile_test.dir/ifile_test.cc.o"
+  "CMakeFiles/ifile_test.dir/ifile_test.cc.o.d"
+  "ifile_test"
+  "ifile_test.pdb"
+  "ifile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

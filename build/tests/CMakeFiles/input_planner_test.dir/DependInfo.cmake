@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/input_planner_test.cc" "tests/CMakeFiles/input_planner_test.dir/input_planner_test.cc.o" "gcc" "tests/CMakeFiles/input_planner_test.dir/input_planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scikey/CMakeFiles/scishuffle_scikey.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/scishuffle_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfc/CMakeFiles/scishuffle_sfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/scishuffle_hadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/scishuffle_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/scishuffle_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/scishuffle_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

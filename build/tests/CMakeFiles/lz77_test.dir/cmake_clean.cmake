@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz77_test.dir/lz77_test.cc.o"
+  "CMakeFiles/lz77_test.dir/lz77_test.cc.o.d"
+  "lz77_test"
+  "lz77_test.pdb"
+  "lz77_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz77_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_dfs_test.dir/mini_dfs_test.cc.o"
+  "CMakeFiles/mini_dfs_test.dir/mini_dfs_test.cc.o.d"
+  "mini_dfs_test"
+  "mini_dfs_test.pdb"
+  "mini_dfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_dfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

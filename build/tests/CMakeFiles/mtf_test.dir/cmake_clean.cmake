@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtf_test.dir/mtf_test.cc.o"
+  "CMakeFiles/mtf_test.dir/mtf_test.cc.o.d"
+  "mtf_test"
+  "mtf_test.pdb"
+  "mtf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mtf_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfile_test.dir/ncfile_test.cc.o"
+  "CMakeFiles/ncfile_test.dir/ncfile_test.cc.o.d"
+  "ncfile_test"
+  "ncfile_test.pdb"
+  "ncfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scikey_test.dir/scikey_test.cc.o"
+  "CMakeFiles/scikey_test.dir/scikey_test.cc.o.d"
+  "scikey_test"
+  "scikey_test.pdb"
+  "scikey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scikey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

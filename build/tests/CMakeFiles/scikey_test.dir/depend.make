@@ -1,0 +1,2 @@
+# Empty dependencies file for scikey_test.
+# This may be replaced when dependencies are built.

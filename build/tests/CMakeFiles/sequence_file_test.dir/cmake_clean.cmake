@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_file_test.dir/sequence_file_test.cc.o"
+  "CMakeFiles/sequence_file_test.dir/sequence_file_test.cc.o.d"
+  "sequence_file_test"
+  "sequence_file_test.pdb"
+  "sequence_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfc_test.dir/sfc_test.cc.o"
+  "CMakeFiles/sfc_test.dir/sfc_test.cc.o.d"
+  "sfc_test"
+  "sfc_test.pdb"
+  "sfc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

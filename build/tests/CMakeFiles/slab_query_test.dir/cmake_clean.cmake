@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slab_query_test.dir/slab_query_test.cc.o"
+  "CMakeFiles/slab_query_test.dir/slab_query_test.cc.o.d"
+  "slab_query_test"
+  "slab_query_test.pdb"
+  "slab_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slab_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_query_test.dir/sliding_query_test.cc.o"
+  "CMakeFiles/sliding_query_test.dir/sliding_query_test.cc.o.d"
+  "sliding_query_test"
+  "sliding_query_test.pdb"
+  "sliding_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
