@@ -1,0 +1,184 @@
+// Pipelined-shuffle A/B: the legacy serial path (whole-segment codec calls
+// behind a map barrier) vs the block-framed pipeline (per-block compression
+// on a shared pool, segments shuffled the moment each map finishes,
+// streaming reduce-side merge). Workload is the Fig. 8 grid — 1000x1000
+// int32 values keyed per point — split across 8 map tasks.
+//
+// For each codec in {null, gzipish, transform+gzipish} both paths run the
+// identical job; outputs and record-level counters must match bit-for-bit
+// (the pipeline only changes *when* work happens, never *what* is
+// produced). Results land in BENCH_shuffle.json: wall clock,
+// shuffle_overlap_us, and peak RSS per run, plus the core count — the
+// >= 1.5x xform-gzipish speedup target only applies on >= 4 cores, since a
+// single-core box has no parallelism for the block pool to exploit.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "bench_util/bench_util.h"
+#include "grid/dataset.h"
+#include "hadoop/runtime.h"
+#include "scikey/simple_key.h"
+
+using namespace scishuffle;
+using hadoop::JobConfig;
+using hadoop::JobResult;
+using hadoop::MapTask;
+
+namespace {
+
+constexpr i64 kSide = 1000;
+constexpr int kMapSplits = 8;
+
+// Peak RSS, resettable between runs: poking "5" into /proc/self/clear_refs
+// clears VmHWM so each configuration gets its own high-water mark. Falls
+// back to the process-lifetime getrusage value where procfs is absent.
+void resetPeakRss() {
+  std::ofstream clear("/proc/self/clear_refs");
+  if (clear) clear << "5\n";
+}
+
+u64 peakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      u64 kb = 0;
+      fields >> kb;
+      return kb * 1024;
+    }
+  }
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<u64>(usage.ru_maxrss) * 1024;
+}
+
+std::vector<MapTask> gridMapTasks(const grid::Variable& v) {
+  std::vector<MapTask> tasks;
+  const i64 rowsPerSplit = (kSide + kMapSplits - 1) / kMapSplits;
+  for (int s = 0; s < kMapSplits; ++s) {
+    const i64 lo = s * rowsPerSplit;
+    const i64 hi = std::min<i64>(kSide, lo + rowsPerSplit);
+    tasks.push_back(MapTask{[&v, lo, hi](const hadoop::EmitFn& emit) {
+      const grid::Box split({lo, 0}, {hi - lo, kSide});
+      split.forEachCell([&](const grid::Coord& c) {
+        emit(scikey::serializeSimpleKey(scikey::SimpleKey{0, "", c},
+                                        scikey::VariableTag::kIndex),
+             v.serializedValueAt(c));
+      });
+    }});
+  }
+  return tasks;
+}
+
+struct RunStats {
+  double wall_s = 0;
+  u64 shuffle_overlap_us = 0;
+  u64 peak_rss_bytes = 0;
+};
+
+struct CodecRow {
+  std::string codec;
+  RunStats serial;
+  RunStats pipeline;
+};
+
+// Record-level counters only: timings, byte framing, and CPU accounting are
+// allowed to differ between the paths; the data must not.
+std::map<std::string, u64> recordCounters(const JobResult& result) {
+  std::map<std::string, u64> records;
+  for (const auto& [name, value] : result.counters.snapshot()) {
+    if (name.find("CPU_US") != std::string::npos) continue;
+    if (name.find("BYTES") != std::string::npos) continue;
+    records[name] = value;
+  }
+  return records;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  bench::banner("pipelined shuffle A/B — 1000x1000 int32 grid, " +
+                std::to_string(kMapSplits) + " map splits, " + std::to_string(cores) + " cores");
+  const grid::Variable v = bench::makeIntGrid("field", {kSide, kSide}, 88);
+  const std::vector<MapTask> tasks = gridMapTasks(v);
+  const hadoop::ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values,
+                                     const hadoop::EmitFn& emit) {
+    emit(key, values.front());
+  };
+
+  std::vector<CodecRow> rows;
+  for (const std::string codec : {"null", "gzipish", "transform+gzipish"}) {
+    JobConfig config;
+    config.intermediate_codec = codec;
+    config.num_reducers = 4;
+    config.map_slots = 4;
+    config.reduce_slots = 2;
+    config.spill_buffer_bytes = 4u << 20;  // a few spills per map task
+
+    CodecRow row;
+    row.codec = codec;
+    JobResult serialResult;
+    JobResult pipelineResult;
+    for (const bool pipelined : {false, true}) {
+      config.shuffle_pipeline = pipelined;
+      resetPeakRss();
+      bench::Timer timer;
+      JobResult result = hadoop::runJob(config, tasks, reduce);
+      RunStats& stats = pipelined ? row.pipeline : row.serial;
+      stats.wall_s = timer.seconds();
+      stats.shuffle_overlap_us = result.timings.shuffle_overlap_us;
+      stats.peak_rss_bytes = peakRssBytes();
+      (pipelined ? pipelineResult : serialResult) = std::move(result);
+    }
+    if (pipelineResult.outputs != serialResult.outputs ||
+        recordCounters(pipelineResult) != recordCounters(serialResult)) {
+      std::cerr << "FAIL: pipelined path diverged from serial baseline for " << codec << "\n";
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  bench::Table table({"codec", "serial wall", "pipeline wall", "speedup", "overlap",
+                      "serial peak RSS", "pipeline peak RSS"});
+  double xformSpeedup = 0;
+  for (const CodecRow& row : rows) {
+    const double speedup = row.serial.wall_s / row.pipeline.wall_s;
+    if (row.codec == "transform+gzipish") xformSpeedup = speedup;
+    table.addRow({row.codec, bench::fixed(row.serial.wall_s, 3) + " s",
+                  bench::fixed(row.pipeline.wall_s, 3) + " s", bench::fixed(speedup, 2) + "x",
+                  bench::fixed(static_cast<double>(row.pipeline.shuffle_overlap_us) / 1000.0, 1) +
+                      " ms",
+                  bench::humanBytes(static_cast<double>(row.serial.peak_rss_bytes)),
+                  bench::humanBytes(static_cast<double>(row.pipeline.peak_rss_bytes))});
+  }
+  table.print();
+  std::cout << "\noutputs and record counters identical on both paths for every codec\n";
+  std::cout << "transform+gzipish speedup: " << bench::fixed(xformSpeedup, 2) << "x (target >= 1.5x on >= 4 cores";
+  if (cores < 4) std::cout << "; this machine has " << cores << ", so not applicable";
+  std::cout << ")\n";
+
+  std::ofstream json("BENCH_shuffle.json");
+  json << "{\n  \"cores\": " << cores << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CodecRow& row = rows[i];
+    const auto emit = [&](const char* mode, const RunStats& s, bool last) {
+      json << "    {\"codec\": \"" << row.codec << "\", \"mode\": \"" << mode
+           << "\", \"wall_s\": " << bench::fixed(s.wall_s, 6)
+           << ", \"shuffle_overlap_us\": " << s.shuffle_overlap_us
+           << ", \"peak_rss_bytes\": " << s.peak_rss_bytes << "}" << (last ? "\n" : ",\n");
+    };
+    emit("serial", row.serial, false);
+    emit("pipeline", row.pipeline, i + 1 == rows.size());
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_shuffle.json\n";
+  return 0;
+}

@@ -1,0 +1,242 @@
+#include "compress/block_format.h"
+
+#include <chrono>
+#include <string>
+
+#include "io/crc32.h"
+#include "io/primitives.h"
+#include "io/varint.h"
+
+namespace scishuffle {
+
+namespace {
+
+u64 nowUs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+[[noreturn]] void frameError(std::size_t index, std::size_t offset, const char* what) {
+  throw FormatError("block frame " + std::to_string(index) + " at offset " +
+                    std::to_string(offset) + ": " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+BlockCompressedWriter::BlockCompressedWriter(const Codec* codec, std::size_t blockBytes,
+                                             ThreadPool* pool)
+    : codec_(codec), blockBytes_(blockBytes), pool_(pool) {
+  check(blockBytes_ >= 1, "block size must be at least one byte");
+}
+
+BlockCompressedWriter::Sealed BlockCompressedWriter::compressBlock(Bytes raw) const {
+  Sealed s;
+  s.rawLen = raw.size();
+  s.crc = crc32(raw);
+  const u64 start = nowUs();
+  s.compressed = codec_ != nullptr ? codec_->compress(raw) : std::move(raw);
+  cpuUs_.fetch_add(nowUs() - start, std::memory_order_relaxed);
+  return s;
+}
+
+void BlockCompressedWriter::seal() {
+  Bytes raw = std::move(pending_);
+  pending_.clear();
+  ++blocks_;
+  if (pool_ != nullptr) {
+    inFlight_.push_back(
+        pool_->submitTask([this, raw = std::move(raw)]() mutable { return compressBlock(std::move(raw)); }));
+  } else {
+    sealed_.push_back(compressBlock(std::move(raw)));
+  }
+}
+
+void BlockCompressedWriter::write(ByteSpan data) {
+  check(!closed_, "write after close");
+  rawBytes_ += data.size();
+  while (!data.empty()) {
+    const std::size_t room = blockBytes_ - pending_.size();
+    const std::size_t take = std::min(room, data.size());
+    pending_.insert(pending_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take));
+    data = data.subspan(take);
+    if (pending_.size() == blockBytes_) seal();
+  }
+}
+
+Bytes BlockCompressedWriter::close() {
+  check(!closed_, "double close");
+  closed_ = true;
+  if (!pending_.empty()) seal();
+
+  Bytes out;
+  MemorySink sink(out);
+  sink.write(ByteSpan(kBlockFrameMagic, sizeof(kBlockFrameMagic)));
+  sink.writeByte(kBlockFrameVersion);
+  const auto emit = [&](const Sealed& s) {
+    writeVLong(sink, static_cast<i64>(s.rawLen));
+    writeVLong(sink, static_cast<i64>(s.compressed.size()));
+    writeU32(sink, s.crc);
+    sink.write(s.compressed);
+  };
+  for (auto& f : inFlight_) emit(f.get());  // in seal order: deterministic bytes
+  for (const Sealed& s : sealed_) emit(s);
+  writeVLong(sink, -1);
+  return out;
+}
+
+// ---------------------------------------------------------------- reader
+
+BlockCompressedReader::BlockCompressedReader(ByteSpan stream, const Codec* codec)
+    : stream_(stream), codec_(codec) {
+  checkFormat(stream_.size() >= sizeof(kBlockFrameMagic) + 1, "block frame stream too short");
+  for (std::size_t i = 0; i < sizeof(kBlockFrameMagic); ++i) {
+    checkFormat(stream_[i] == kBlockFrameMagic[i], "bad block frame magic");
+  }
+  checkFormat(stream_[sizeof(kBlockFrameMagic)] == kBlockFrameVersion,
+              "unsupported block frame version");
+  pos_ = sizeof(kBlockFrameMagic) + 1;
+}
+
+std::optional<BlockCompressedReader::Frame> BlockCompressedReader::nextFrame() {
+  if (done_) return std::nullopt;
+  const std::size_t offset = pos_;
+  MemorySource source(stream_.subspan(pos_));
+  i64 rawLen = 0;
+  try {
+    rawLen = readVLong(source);
+  } catch (const FormatError&) {
+    frameError(blocks_, offset, "truncated frame header (missing end marker?)");
+  }
+  if (rawLen < 0) {
+    done_ = true;
+    pos_ += source.position();
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.index = blocks_;
+  frame.offset = offset;
+  frame.rawLen = static_cast<u64>(rawLen);
+  i64 compLen = 0;
+  try {
+    compLen = readVLong(source);
+    frame.crc = readU32(source);
+  } catch (const FormatError&) {
+    frameError(frame.index, offset, "truncated frame header");
+  }
+  if (compLen < 0) frameError(frame.index, offset, "negative compressed length");
+  pos_ += source.position();
+  if (stream_.size() - pos_ < static_cast<std::size_t>(compLen)) {
+    frameError(frame.index, offset, "truncated block payload");
+  }
+  frame.payload = stream_.subspan(pos_, static_cast<std::size_t>(compLen));
+  pos_ += static_cast<std::size_t>(compLen);
+  ++blocks_;
+  return frame;
+}
+
+Bytes BlockCompressedReader::decodeFrame(const Frame& frame) const {
+  Bytes raw;
+  const u64 start = nowUs();
+  if (codec_ != nullptr) {
+    try {
+      raw = codec_->decompress(frame.payload);
+    } catch (const FormatError&) {
+      frameError(frame.index, frame.offset, "codec failed to decompress block");
+    }
+  } else {
+    raw.assign(frame.payload.begin(), frame.payload.end());
+  }
+  cpuUs_.fetch_add(nowUs() - start, std::memory_order_relaxed);
+  if (raw.size() != frame.rawLen) frameError(frame.index, frame.offset, "raw length mismatch");
+  if (crc32(raw) != frame.crc) frameError(frame.index, frame.offset, "crc mismatch");
+  return raw;
+}
+
+std::optional<Bytes> BlockCompressedReader::nextBlock() {
+  auto frame = nextFrame();
+  if (!frame) return std::nullopt;
+  return decodeFrame(*frame);
+}
+
+// ---------------------------------------------------------------- source
+
+BlockDecodeSource::BlockDecodeSource(ByteSpan stream, const Codec* codec, ThreadPool* prefetchPool)
+    : reader_(stream, codec), pool_(prefetchPool) {}
+
+BlockDecodeSource::~BlockDecodeSource() {
+  // A decode-ahead task captures `this`; never let it outlive us.
+  if (ahead_.has_value()) ahead_->wait();
+}
+
+void BlockDecodeSource::scheduleAhead() {
+  auto frame = reader_.nextFrame();
+  if (!frame) return;
+  aheadRawLen_ = frame->rawLen;
+  ahead_ = pool_->submitTask([this, f = *frame] { return reader_.decodeFrame(f); });
+  residentPeak_ = std::max(residentPeak_, static_cast<u64>(current_.size()) + aheadRawLen_);
+}
+
+bool BlockDecodeSource::advance() {
+  if (exhausted_) return false;
+  if (ahead_.has_value()) {
+    Bytes next = ahead_->get();  // rethrows decode errors from the pool
+    ahead_.reset();
+    aheadRawLen_ = 0;
+    current_ = std::move(next);
+  } else {
+    auto block = reader_.nextBlock();
+    if (!block) {
+      exhausted_ = true;
+      current_.clear();
+      pos_ = 0;
+      return false;
+    }
+    current_ = std::move(*block);
+  }
+  pos_ = 0;
+  residentPeak_ = std::max(residentPeak_, static_cast<u64>(current_.size()));
+  if (pool_ != nullptr) scheduleAhead();
+  return true;
+}
+
+std::size_t BlockDecodeSource::read(MutableByteSpan out) {
+  std::size_t total = 0;
+  while (total < out.size()) {
+    if (pos_ == current_.size()) {
+      if (!advance()) break;
+      if (current_.empty()) continue;  // zero-length block
+    }
+    const std::size_t take = std::min(out.size() - total, current_.size() - pos_);
+    std::copy_n(current_.begin() + static_cast<std::ptrdiff_t>(pos_), take,
+                out.begin() + static_cast<std::ptrdiff_t>(total));
+    pos_ += take;
+    total += take;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- helpers
+
+Bytes blockCompress(ByteSpan raw, const Codec* codec, std::size_t blockBytes, ThreadPool* pool,
+                    u64* cpuUs) {
+  BlockCompressedWriter writer(codec, blockBytes, pool);
+  writer.write(raw);
+  Bytes out = writer.close();
+  if (cpuUs != nullptr) *cpuUs += writer.compressCpuUs();
+  return out;
+}
+
+Bytes blockDecompressAll(ByteSpan stream, const Codec* codec, u64* cpuUs) {
+  BlockCompressedReader reader(stream, codec);
+  Bytes out;
+  while (auto block = reader.nextBlock()) {
+    out.insert(out.end(), block->begin(), block->end());
+  }
+  if (cpuUs != nullptr) *cpuUs += reader.decompressCpuUs();
+  return out;
+}
+
+}  // namespace scishuffle

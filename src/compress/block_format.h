@@ -1,0 +1,157 @@
+// Block-framed codec container: wraps any registered Codec into a
+// self-describing stream of independently decompressible blocks,
+//
+//     stream := "SBF1" u8(version=1) block* vlong(-1)
+//     block  := vlong(rawLen) vlong(compLen) u32(crc32(raw)) payload[compLen]
+//
+// (see docs/FORMATS.md). Because every block carries its own lengths and
+// checksum, compression and decompression of one stream can fan out across a
+// ThreadPool — this is what makes the shuffle's codec work parallelizable,
+// the same reason real Hadoop deployments lean on splittable block codecs
+// like LZO instead of whole-stream gzip. A corrupt block raises FormatError
+// naming the block index and stream offset instead of garbling the rest of
+// the stream.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "compress/codec.h"
+#include "io/streams.h"
+#include "io/thread_pool.h"
+
+namespace scishuffle {
+
+inline constexpr u8 kBlockFrameMagic[4] = {'S', 'B', 'F', '1'};
+inline constexpr u8 kBlockFrameVersion = 1;
+inline constexpr std::size_t kBlockFrameDefaultBlockBytes = 256u << 10;
+
+/// Streams raw bytes into a block-framed container. A block is sealed every
+/// `blockBytes` of input; with a pool, sealed blocks compress concurrently
+/// and close() assembles them in order, so output bytes are identical to the
+/// serial path. `codec == nullptr` stores blocks uncompressed (still framed).
+class BlockCompressedWriter {
+ public:
+  explicit BlockCompressedWriter(const Codec* codec,
+                                 std::size_t blockBytes = kBlockFrameDefaultBlockBytes,
+                                 ThreadPool* pool = nullptr);
+
+  void write(ByteSpan data);
+
+  /// Flushes the tail block and the end marker; no writes afterwards.
+  Bytes close();
+
+  /// Raw (pre-compression) bytes accepted so far.
+  u64 rawBytes() const { return rawBytes_; }
+  u64 blocksWritten() const { return blocks_; }
+
+  /// Summed per-block CPU spent inside the codec (equals the serial cost even
+  /// when blocks compress in parallel — the cluster cost model needs CPU
+  /// work, not wall time).
+  u64 compressCpuUs() const { return cpuUs_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Sealed {
+    u64 rawLen = 0;
+    u32 crc = 0;
+    Bytes compressed;
+  };
+
+  void seal();
+  Sealed compressBlock(Bytes raw) const;
+
+  const Codec* codec_;
+  std::size_t blockBytes_;
+  ThreadPool* pool_;
+  Bytes pending_;
+  std::vector<Sealed> sealed_;                  // serial path
+  std::vector<std::future<Sealed>> inFlight_;   // pooled path, in seal order
+  mutable std::atomic<u64> cpuUs_{0};
+  u64 rawBytes_ = 0;
+  u64 blocks_ = 0;
+  bool closed_ = false;
+};
+
+/// Sequential reader over a block-framed stream; one decoded block at a time.
+class BlockCompressedReader {
+ public:
+  /// Validates magic + version eagerly; throws FormatError on mismatch.
+  BlockCompressedReader(ByteSpan stream, const Codec* codec);
+
+  /// Decodes the next block, or nullopt after the end marker. Throws
+  /// FormatError (with block index and offset) on truncation, a corrupt
+  /// frame, or a CRC mismatch.
+  std::optional<Bytes> nextBlock();
+
+  bool done() const { return done_; }
+  std::size_t blocksRead() const { return blocks_; }
+  u64 decompressCpuUs() const { return cpuUs_.load(std::memory_order_relaxed); }
+
+  /// Frame header of one block (parsed, not yet decoded).
+  struct Frame {
+    u64 rawLen = 0;
+    u32 crc = 0;
+    ByteSpan payload;
+    std::size_t index = 0;   // block ordinal in the stream
+    std::size_t offset = 0;  // byte offset of the frame in the stream
+  };
+
+  /// Advances past the next frame without decoding it; nullopt at the end
+  /// marker. Used by BlockDecodeSource to decode ahead on a pool.
+  std::optional<Frame> nextFrame();
+
+  /// Decompresses and CRC-checks a frame returned by nextFrame(). Safe to
+  /// call from another thread as long as calls don't overlap for one reader.
+  Bytes decodeFrame(const Frame& frame) const;
+
+ private:
+  ByteSpan stream_;
+  const Codec* codec_;
+  std::size_t pos_ = 0;
+  std::size_t blocks_ = 0;
+  bool done_ = false;
+  mutable std::atomic<u64> cpuUs_{0};
+};
+
+/// ByteSource over a block-framed stream that holds only the current decoded
+/// block (plus one decode-ahead block when a pool is given). This is what
+/// bounds reduce-side merge memory to O(segments x block size).
+class BlockDecodeSource final : public ByteSource {
+ public:
+  explicit BlockDecodeSource(ByteSpan stream, const Codec* codec,
+                             ThreadPool* prefetchPool = nullptr);
+  ~BlockDecodeSource() override;
+
+  std::size_t read(MutableByteSpan out) override;
+
+  u64 decompressCpuUs() const { return reader_.decompressCpuUs(); }
+
+  /// High-water mark of decoded bytes held at once (current block plus any
+  /// decode-ahead block in flight).
+  u64 residentPeakBytes() const { return residentPeak_; }
+
+ private:
+  bool advance();          // loads the next block into current_
+  void scheduleAhead();    // kicks off async decode of the following block
+
+  BlockCompressedReader reader_;
+  ThreadPool* pool_;
+  Bytes current_;
+  std::size_t pos_ = 0;
+  std::optional<std::future<Bytes>> ahead_;
+  u64 aheadRawLen_ = 0;
+  u64 residentPeak_ = 0;
+  bool exhausted_ = false;
+};
+
+/// One-shot helpers. blockCompress fans per-block codec work across `pool`
+/// when given; output bytes are identical either way. Both accumulate codec
+/// CPU time into *cpuUs when non-null.
+Bytes blockCompress(ByteSpan raw, const Codec* codec,
+                    std::size_t blockBytes = kBlockFrameDefaultBlockBytes,
+                    ThreadPool* pool = nullptr, u64* cpuUs = nullptr);
+Bytes blockDecompressAll(ByteSpan stream, const Codec* codec, u64* cpuUs = nullptr);
+
+}  // namespace scishuffle

@@ -13,6 +13,7 @@ CodecRegistry& CodecRegistry::instance() {
 }
 
 void CodecRegistry::registerCodec(const std::string& name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [n, f] : entries_) {
     if (n == name) {
       f = std::move(factory);
@@ -23,13 +24,22 @@ void CodecRegistry::registerCodec(const std::string& name, Factory factory) {
 }
 
 std::unique_ptr<Codec> CodecRegistry::create(const std::string& name) const {
-  for (const auto& [n, f] : entries_) {
-    if (n == name) return f();
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [n, f] : entries_) {
+      if (n == name) {
+        factory = f;
+        break;
+      }
+    }
   }
-  throw std::out_of_range("unknown codec: " + name);
+  if (!factory) throw std::out_of_range("unknown codec: " + name);
+  return factory();
 }
 
 std::vector<std::string> CodecRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [n, f] : entries_) out.push_back(n);

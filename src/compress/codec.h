@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,9 @@ class CodecRegistry {
   std::vector<std::string> names() const;
 
  private:
+  // Jobs may run concurrently and each re-registers the builtin codecs on
+  // entry, so the singleton must tolerate registration/create races.
+  mutable std::mutex mutex_;
   std::vector<std::pair<std::string, Factory>> entries_;
 };
 

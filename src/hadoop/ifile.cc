@@ -68,6 +68,46 @@ IFileReader::IFileReader(ByteSpan file, const Codec* codec) {
   checkFormat(crc32(payload_) == expected, "IFile checksum mismatch");
 }
 
+void IFileBlockWriter::append(ByteSpan key, ByteSpan value) {
+  check(!closed_, "append after close");
+  scratch_.clear();
+  MemorySink lengths(scratch_);
+  writeVInt(lengths, static_cast<i32>(key.size()));
+  writeVInt(lengths, static_cast<i32>(value.size()));
+  writer_.write(scratch_);
+  writer_.write(key);
+  writer_.write(value);
+  ++records_;
+}
+
+Bytes IFileBlockWriter::close() {
+  check(!closed_, "double close");
+  closed_ = true;
+  scratch_.clear();
+  MemorySink marker(scratch_);
+  writeVInt(marker, -1);
+  writeVInt(marker, -1);
+  writer_.write(scratch_);
+  return writer_.close();
+}
+
+std::optional<KeyValue> IFileStreamReader::next() {
+  if (done_) return std::nullopt;
+  const i32 keyLen = readVInt(*source_);
+  const i32 valueLen = readVInt(*source_);
+  if (keyLen == -1 && valueLen == -1) {
+    done_ = true;
+    return std::nullopt;
+  }
+  checkFormat(keyLen >= 0 && valueLen >= 0, "negative record length");
+  KeyValue kv;
+  kv.key.resize(static_cast<std::size_t>(keyLen));
+  source_->readExact(MutableByteSpan(kv.key.data(), kv.key.size()));
+  kv.value.resize(static_cast<std::size_t>(valueLen));
+  source_->readExact(MutableByteSpan(kv.value.data(), kv.value.size()));
+  return kv;
+}
+
 std::optional<KeyValue> IFileReader::next() {
   if (done_) return std::nullopt;
   MemorySource source(ByteSpan(payload_).subspan(pos_));

@@ -7,11 +7,17 @@
 //
 // The record stream (marker included) is passed through the job's
 // intermediate codec as a whole, as Hadoop does when
-// mapreduce.map.output.compress is set.
+// mapreduce.map.output.compress is set — that is the legacy IFileWriter /
+// IFileReader pair. The pipelined shuffle instead wraps the same record
+// stream in the block-framed container (compress/block_format.h): records
+// stream through IFileBlockWriter into independently decompressible blocks,
+// and IFileStreamReader parses records back out of any ByteSource one block
+// at a time.
 #pragma once
 
 #include <memory>
 
+#include "compress/block_format.h"
 #include "compress/codec.h"
 #include "hadoop/types.h"
 
@@ -64,6 +70,45 @@ class IFileReader {
   std::size_t pos_ = 0;
   bool done_ = false;
   u64 decompressCpuUs_ = 0;
+};
+
+/// IFile record stream materialized as a block-framed codec container
+/// (pipelined-shuffle segment format). Block boundaries fall every
+/// `blockBytes` of raw record stream regardless of record boundaries; with a
+/// pool, sealed blocks compress concurrently while records keep streaming in.
+class IFileBlockWriter {
+ public:
+  IFileBlockWriter(const Codec* codec, std::size_t blockBytes, ThreadPool* pool = nullptr)
+      : writer_(codec, blockBytes, pool) {}
+
+  void append(ByteSpan key, ByteSpan value);
+
+  /// Writes the (-1, -1) end marker and finalizes the container.
+  Bytes close();
+
+  u64 rawBytes() const { return writer_.rawBytes(); }
+  u64 records() const { return records_; }
+  u64 compressCpuUs() const { return writer_.compressCpuUs(); }
+
+ private:
+  BlockCompressedWriter writer_;
+  Bytes scratch_;
+  u64 records_ = 0;
+  bool closed_ = false;
+};
+
+/// Parses IFile records from any ByteSource (typically a BlockDecodeSource,
+/// so only the current block is resident). Throws FormatError on truncation.
+class IFileStreamReader {
+ public:
+  explicit IFileStreamReader(ByteSource& source) : source_(&source) {}
+
+  /// Next record, or nullopt at the (-1, -1) end marker.
+  std::optional<KeyValue> next();
+
+ private:
+  ByteSource* source_;
+  bool done_ = false;
 };
 
 }  // namespace scishuffle::hadoop

@@ -23,6 +23,23 @@ struct JobConfig {
   /// "gzipish", "bzip2ish", "transform+gzipish", "transform+bzip2ish".
   std::string intermediate_codec = "null";
 
+  /// Pipelined shuffle: map outputs are materialized as block-framed codec
+  /// containers (per-block compression fanned across a shared pool), handed
+  /// to reducers the moment each map task finishes, and merged through
+  /// streaming block-at-a-time readers. Off = the legacy serial path
+  /// (whole-segment codec calls behind a map barrier), kept for one release
+  /// as the A/B baseline. Reduce outputs and record-level counters are
+  /// identical on both paths; only timings, peak memory, and segment framing
+  /// bytes differ.
+  bool shuffle_pipeline = true;
+
+  /// Raw bytes per block in the block-framed container (pipelined path).
+  std::size_t shuffle_block_bytes = 256u << 10;
+
+  /// Threads in the shared codec pool used for per-block compression and
+  /// reduce-side decode-ahead; 0 = hardware concurrency.
+  int codec_threads = 0;
+
   /// Map-side sort buffer: a spill is triggered when buffered key+value
   /// bytes exceed this.
   std::size_t spill_buffer_bytes = 16u << 20;

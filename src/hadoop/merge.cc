@@ -4,9 +4,18 @@
 
 namespace scishuffle::hadoop {
 
+std::optional<KeyValue> MergedSegmentStream::Head::advance() {
+  if (records != nullptr) return records->next();
+  return reader->next();
+}
+
 MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Codec* codec,
-                                         const JobConfig& config, Counters& counters)
-    : config_(&config) {
+                                         const JobConfig& config, Counters& counters,
+                                         ThreadPool* codecPool)
+    : config_(&config),
+      counters_(&counters),
+      codecPool_(codecPool),
+      streaming_(config.shuffle_pipeline) {
   // Multi-pass merging: while too many segments, merge the smallest
   // merge_factor of them into one re-materialized segment.
   while (static_cast<int>(segments.size()) > config.merge_factor) {
@@ -14,11 +23,30 @@ MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Code
     reduceSegmentCount(segments, codec, counters);
   }
 
+  if (streaming_) {
+    // Heads borrow spans of segments_; keep the bytes alive for the stream's
+    // lifetime and hold only the current decoded block per segment.
+    segments_ = std::move(segments);
+    for (Bytes& segment : segments_) {
+      Head head;
+      head.source = std::make_unique<BlockDecodeSource>(segment, codec, codecPool_);
+      head.records = std::make_unique<IFileStreamReader>(*head.source);
+      if (auto kv = head.advance()) {
+        head.kv = std::move(*kv);
+        heads_.push_back(std::move(head));
+      } else {
+        counters.add(counter::kCodecDecompressCpuUs, head.source->decompressCpuUs());
+        residentPeakBytes_ += head.source->residentPeakBytes();
+      }
+    }
+    return;
+  }
+
   for (Bytes& segment : segments) {
     Head head;
     head.reader = std::make_unique<IFileReader>(segment, codec);
     counters.add(counter::kCodecDecompressCpuUs, head.reader->decompressCpuUs());
-    if (auto kv = head.reader->next()) {
+    if (auto kv = head.advance()) {
       head.kv = std::move(*kv);
       heads_.push_back(std::move(head));
     }
@@ -33,37 +61,101 @@ void MergedSegmentStream::reduceSegmentCount(std::vector<Bytes>& segments, const
   const std::size_t take = std::min<std::size_t>(static_cast<std::size_t>(config_->merge_factor),
                                                  segments.size());
 
-  std::vector<KeyValue> all;
-  for (std::size_t i = 0; i < take; ++i) {
-    IFileReader reader(segments[i], codec);
-    counters.add(counter::kCodecDecompressCpuUs, reader.decompressCpuUs());
-    while (auto kv = reader.next()) all.push_back(std::move(*kv));
-  }
-  std::stable_sort(all.begin(), all.end(), [&](const KeyValue& a, const KeyValue& b) {
-    return config_->key_less(a.key, b.key);
-  });
+  Bytes merged;
+  if (streaming_) {
+    // Stream the pass: k-way merge through block-at-a-time readers into a
+    // block-framed writer, never materializing the decoded records wholesale.
+    // Picking the lowest-index head on key ties reproduces the stable
+    // concatenate-then-sort order of the legacy pass.
+    struct PassHead {
+      std::unique_ptr<BlockDecodeSource> source;
+      std::unique_ptr<IFileStreamReader> records;
+      KeyValue kv;
+    };
+    std::vector<PassHead> passHeads;
+    u64 decompressUs = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      PassHead head;
+      head.source = std::make_unique<BlockDecodeSource>(segments[i], codec, codecPool_);
+      head.records = std::make_unique<IFileStreamReader>(*head.source);
+      if (auto kv = head.records->next()) {
+        head.kv = std::move(*kv);
+        passHeads.push_back(std::move(head));
+      } else {
+        decompressUs += head.source->decompressCpuUs();
+        residentPeakBytes_ += head.source->residentPeakBytes();
+      }
+    }
+    IFileBlockWriter writer(codec, config_->shuffle_block_bytes, codecPool_);
+    while (!passHeads.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < passHeads.size(); ++i) {
+        if (config_->key_less(passHeads[i].kv.key, passHeads[best].kv.key)) best = i;
+      }
+      writer.append(passHeads[best].kv.key, passHeads[best].kv.value);
+      if (auto kv = passHeads[best].records->next()) {
+        passHeads[best].kv = std::move(*kv);
+      } else {
+        decompressUs += passHeads[best].source->decompressCpuUs();
+        residentPeakBytes_ += passHeads[best].source->residentPeakBytes();
+        passHeads.erase(passHeads.begin() + static_cast<std::ptrdiff_t>(best));
+      }
+    }
+    merged = writer.close();
+    counters.add(counter::kCodecDecompressCpuUs, decompressUs);
+    counters.add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+  } else {
+    std::vector<KeyValue> all;
+    for (std::size_t i = 0; i < take; ++i) {
+      IFileReader reader(segments[i], codec);
+      counters.add(counter::kCodecDecompressCpuUs, reader.decompressCpuUs());
+      while (auto kv = reader.next()) all.push_back(std::move(*kv));
+    }
+    std::stable_sort(all.begin(), all.end(), [&](const KeyValue& a, const KeyValue& b) {
+      return config_->key_less(a.key, b.key);
+    });
 
-  IFileWriter writer(codec);
-  for (const KeyValue& kv : all) writer.append(kv.key, kv.value);
-  Bytes merged = writer.close();
-  counters.add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+    IFileWriter writer(codec);
+    for (const KeyValue& kv : all) writer.append(kv.key, kv.value);
+    merged = writer.close();
+    counters.add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+  }
   counters.add(counter::kReduceMergeMaterializedBytes, merged.size());
 
   segments.erase(segments.begin(), segments.begin() + static_cast<std::ptrdiff_t>(take));
   segments.push_back(std::move(merged));
 }
 
+void MergedSegmentStream::retireHead(std::size_t index) {
+  Head& head = heads_[index];
+  if (head.source != nullptr) {
+    counters_->add(counter::kCodecDecompressCpuUs, head.source->decompressCpuUs());
+    residentPeakBytes_ += head.source->residentPeakBytes();
+  }
+  heads_.erase(heads_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (heads_.empty() && streaming_ && !peakReported_) {
+    peakReported_ = true;
+    counters_->add(counter::kReduceMergeResidentPeakBytes, residentPeakBytes_);
+  }
+}
+
 std::optional<KeyValue> MergedSegmentStream::next() {
-  if (heads_.empty()) return std::nullopt;
+  if (heads_.empty()) {
+    if (streaming_ && !peakReported_) {
+      peakReported_ = true;
+      counters_->add(counter::kReduceMergeResidentPeakBytes, residentPeakBytes_);
+    }
+    return std::nullopt;
+  }
   std::size_t best = 0;
   for (std::size_t i = 1; i < heads_.size(); ++i) {
     if (config_->key_less(heads_[i].kv.key, heads_[best].kv.key)) best = i;
   }
   KeyValue out = std::move(heads_[best].kv);
-  if (auto kv = heads_[best].reader->next()) {
+  if (auto kv = heads_[best].advance()) {
     heads_[best].kv = std::move(*kv);
   } else {
-    heads_.erase(heads_.begin() + static_cast<std::ptrdiff_t>(best));
+    retireHead(best);
   }
   return out;
 }

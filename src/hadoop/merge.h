@@ -3,37 +3,60 @@
 // the merge factor (step 5 of Fig. 1: "possibly requiring multiple on-disk
 // sort phases"). Intermediate passes re-materialize IFiles through the codec
 // so their byte and CPU costs are accounted.
+//
+// With JobConfig::shuffle_pipeline on, segments are block-framed containers
+// read through BlockDecodeSources that hold only the current block per
+// segment (plus a one-block decode-ahead filled by the codec pool): peak
+// decoded-bytes residency drops from O(total shuffled bytes) to
+// O(num_segments x block size), reported via REDUCE_MERGE_RESIDENT_PEAK_BYTES.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "compress/block_format.h"
 #include "compress/codec.h"
 #include "hadoop/counters.h"
 #include "hadoop/ifile.h"
 #include "hadoop/job.h"
+#include "io/thread_pool.h"
 
 namespace scishuffle::hadoop {
 
 /// KVStream over a merged set of sorted IFile segments.
 class MergedSegmentStream final : public KVStream {
  public:
+  /// `codecPool` (may be null) feeds block decode-ahead on the pipelined
+  /// path; ignored on the legacy path.
   MergedSegmentStream(std::vector<Bytes> segments, const Codec* codec, const JobConfig& config,
-                      Counters& counters);
+                      Counters& counters, ThreadPool* codecPool = nullptr);
 
   std::optional<KeyValue> next() override;
 
  private:
   struct Head {
+    // Legacy path: eager whole-segment reader.
     std::unique_ptr<IFileReader> reader;
+    // Pipelined path: streaming block-at-a-time pipeline over segments_[i].
+    std::unique_ptr<BlockDecodeSource> source;
+    std::unique_ptr<IFileStreamReader> records;
     KeyValue kv;
+
+    std::optional<KeyValue> advance();
   };
 
-  /// Merges the `count` smallest segments into one (an extra pass).
+  /// Merges the `merge_factor` smallest segments into one (an extra pass).
   void reduceSegmentCount(std::vector<Bytes>& segments, const Codec* codec, Counters& counters);
+  void retireHead(std::size_t index);
 
   const JobConfig* config_;
+  Counters* counters_;
+  ThreadPool* codecPool_;
+  bool streaming_ = false;
+  std::vector<Bytes> segments_;  // owns the bytes the streaming heads borrow
   std::vector<Head> heads_;
+  u64 residentPeakBytes_ = 0;  // accumulated from retired heads
+  bool peakReported_ = false;
 };
 
 }  // namespace scishuffle::hadoop

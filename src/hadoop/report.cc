@@ -37,7 +37,11 @@ std::string jobReport(const JobResult& result) {
   os << "=== job report ===\n";
   os << "phases: map " << result.timings.map_phase_us / 1000 << " ms, shuffle "
      << result.timings.shuffle_us / 1000 << " ms, reduce "
-     << result.timings.reduce_phase_us / 1000 << " ms\n";
+     << result.timings.reduce_phase_us / 1000 << " ms";
+  if (result.timings.shuffle_overlap_us > 0) {
+    os << " (shuffle overlapped map by " << result.timings.shuffle_overlap_us / 1000 << " ms)";
+  }
+  os << "\n";
   os << "map:    " << result.counters.get(c::kMapOutputRecords) << " records, "
      << result.counters.get(c::kMapOutputBytes) << " bytes, materialized "
      << result.counters.get(c::kMapOutputMaterializedBytes) << " bytes in "
@@ -84,7 +88,7 @@ std::string jobSummaryLine(const JobResult& result) {
      << result.counters.get(c::kMapOutputMaterializedBytes) << " materialized bytes -> "
      << result.counters.get(c::kReduceOutputRecords) << " outputs in "
      << (result.timings.map_phase_us + result.timings.shuffle_us +
-         result.timings.reduce_phase_us) /
+         result.timings.reduce_phase_us - result.timings.shuffle_overlap_us) /
             1000
      << " ms";
   return os.str();

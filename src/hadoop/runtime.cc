@@ -1,12 +1,15 @@
 #include "hadoop/runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <thread>
 
 #include "compress/codec.h"
 #include "hadoop/merge.h"
-#include "hadoop/thread_pool.h"
+#include "hadoop/shuffle.h"
+#include "io/thread_pool.h"
 #include "transform/transform_codec.h"
 
 namespace scishuffle::hadoop {
@@ -19,27 +22,117 @@ u64 nowUs() {
                               .count());
 }
 
-}  // namespace
+int codecPoolThreads(const JobConfig& config) {
+  if (config.codec_threads > 0) return config.codec_threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
-JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
-                 const ReduceFn& reduce) {
-  check(config.num_reducers >= 1, "need at least one reducer");
-  registerTransformCodecs();  // ensure codec names resolve
-  const auto codecPtr = config.intermediate_codec == "null"
-                            ? nullptr
-                            : CodecRegistry::instance().create(config.intermediate_codec);
+/// Shared scaffolding for per-task error collection.
+struct ErrorSlot {
+  std::exception_ptr first;
+  std::mutex mutex;
 
+  void record() {
+    std::scoped_lock lock(mutex);
+    if (!first) first = std::current_exception();
+  }
+  void rethrowIfSet() {
+    if (first) std::rethrow_exception(first);
+  }
+};
+
+/// Runs one map task (with retries) and returns its materialized output, or
+/// nullopt after the last attempt failed (the error is recorded). Fault
+/// tolerance: a failed attempt is discarded wholesale (fresh MapOutputBuffer,
+/// fresh counters) and the task re-executes.
+std::optional<MapOutput> runMapTaskWithRetries(const JobConfig& config, const Codec* codec,
+                                               ThreadPool* codecPool, const MapTask& task,
+                                               MapTaskStats& stats, Counters& jobCounters,
+                                               ErrorSlot& errors) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      Counters taskCounters;
+      MapOutputBuffer buffer(config, codec, taskCounters, codecPool);
+      const u64 taskStart = nowUs();
+      const EmitFn emit = [&](Bytes key, Bytes value) {
+        auto routed =
+            config.router(KeyValue{std::move(key), std::move(value)}, config.num_reducers);
+        for (auto& [partition, kv] : routed) buffer.collect(partition, std::move(kv));
+      };
+      task.run(emit);
+      taskCounters.add(counter::kMapCpuUs, nowUs() - taskStart);
+      MapOutput output = buffer.finish();
+      stats.cpu_us = taskCounters.get(counter::kMapCpuUs) +
+                     taskCounters.get(counter::kSortCpuUs) +
+                     taskCounters.get(counter::kCodecCompressCpuUs);
+      stats.segment_bytes.reserve(output.segments.size());
+      for (const Bytes& segment : output.segments) {
+        stats.segment_bytes.push_back(segment.size());
+      }
+      jobCounters.merge(taskCounters);
+      return output;
+    } catch (...) {
+      if (attempt >= config.max_task_attempts) {
+        errors.record();
+        return std::nullopt;
+      }
+    }
+  }
+}
+
+/// Runs one reduce task (with retries) over its fetched segments. Reduce
+/// retry needs the input segments intact across attempts, so it borrows them
+/// and copies per attempt (as a re-fetch would).
+void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, ThreadPool* codecPool,
+                              const ReduceFn& reduce, const std::vector<Bytes>& segments,
+                              JobResult& result, std::mutex& outputsMutex, int r,
+                              ErrorSlot& errors) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      Counters taskCounters;
+      MergedSegmentStream stream(segments, codec, config, taskCounters, codecPool);
+      std::vector<KeyValue> output;
+      const EmitFn emit = [&](Bytes key, Bytes value) {
+        taskCounters.add(counter::kReduceOutputRecords, 1);
+        output.push_back(KeyValue{std::move(key), std::move(value)});
+      };
+      const u64 taskStart = nowUs();
+      config.grouper->run(stream, reduce, emit, taskCounters);
+      taskCounters.add(counter::kReduceCpuUs, nowUs() - taskStart);
+      ReduceTaskStats& stats = result.reduce_tasks[static_cast<std::size_t>(r)];
+      stats.cpu_us = taskCounters.get(counter::kReduceCpuUs) +
+                     taskCounters.get(counter::kCodecDecompressCpuUs);
+      stats.merge_materialized_bytes =
+          taskCounters.get(counter::kReduceMergeMaterializedBytes);
+      stats.merge_resident_peak_bytes =
+          taskCounters.get(counter::kReduceMergeResidentPeakBytes);
+      for (const auto& kv : output) stats.output_bytes += kv.key.size() + kv.value.size();
+      {
+        std::scoped_lock lock(outputsMutex);
+        result.outputs[static_cast<std::size_t>(r)] = std::move(output);
+      }
+      result.counters.merge(taskCounters);
+      return;
+    } catch (...) {
+      if (attempt >= config.max_task_attempts) {
+        errors.record();
+        return;
+      }
+    }
+  }
+}
+
+/// Legacy serial data path: map barrier, then a single-threaded copy loop,
+/// then the reduce phase. Kept for one release as the A/B baseline for the
+/// pipelined shuffle.
+JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                       const ReduceFn& reduce, const Codec* codec) {
   JobResult result;
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
   std::mutex outputsMutex;
-  std::vector<MapOutput> mapOutputs(mapTasks.size());
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
-  auto recordError = [&] {
-    std::scoped_lock lock(errorMutex);
-    if (!firstError) firstError = std::current_exception();
-  };
+  std::vector<std::optional<MapOutput>> mapOutputs(mapTasks.size());
+  ErrorSlot errors;
 
   // ---- Map phase (steps 1-3): map, combine, sort, spill, merge spills.
   const u64 mapStart = nowUs();
@@ -47,43 +140,13 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
     ThreadPool pool(config.map_slots);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       pool.submit([&, m] {
-        // Fault tolerance: a failed attempt is discarded wholesale (fresh
-        // MapOutputBuffer, fresh counters) and the task re-executes.
-        for (int attempt = 1;; ++attempt) {
-          try {
-            Counters taskCounters;
-            MapOutputBuffer buffer(config, codecPtr.get(), taskCounters);
-            const u64 taskStart = nowUs();
-            const EmitFn emit = [&](Bytes key, Bytes value) {
-              auto routed =
-                  config.router(KeyValue{std::move(key), std::move(value)}, config.num_reducers);
-              for (auto& [partition, kv] : routed) buffer.collect(partition, std::move(kv));
-            };
-            mapTasks[m].run(emit);
-            taskCounters.add(counter::kMapCpuUs, nowUs() - taskStart);
-            mapOutputs[m] = buffer.finish();
-            MapTaskStats& stats = result.map_tasks[m];
-            stats.cpu_us = taskCounters.get(counter::kMapCpuUs) +
-                           taskCounters.get(counter::kSortCpuUs) +
-                           taskCounters.get(counter::kCodecCompressCpuUs);
-            stats.segment_bytes.reserve(mapOutputs[m].segments.size());
-            for (const Bytes& segment : mapOutputs[m].segments) {
-              stats.segment_bytes.push_back(segment.size());
-            }
-            result.counters.merge(taskCounters);
-            break;
-          } catch (...) {
-            if (attempt >= config.max_task_attempts) {
-              recordError();
-              break;
-            }
-          }
-        }
+        mapOutputs[m] = runMapTaskWithRetries(config, codec, nullptr, mapTasks[m],
+                                              result.map_tasks[m], result.counters, errors);
       });
     }
     pool.wait();
   }
-  if (firstError) std::rethrow_exception(firstError);
+  errors.rethrowIfSet();
   result.timings.map_phase_us = nowUs() - mapStart;
 
   // ---- Shuffle (step 4): every reducer fetches its segment from every map.
@@ -91,7 +154,7 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
   std::vector<std::vector<Bytes>> reducerSegments(static_cast<std::size_t>(config.num_reducers));
   for (auto& mo : mapOutputs) {
     for (int r = 0; r < config.num_reducers; ++r) {
-      Bytes& segment = mo.segments[static_cast<std::size_t>(r)];
+      Bytes& segment = mo->segments[static_cast<std::size_t>(r)];
       result.counters.add(counter::kReduceShuffleBytes, segment.size());
       result.reduce_tasks[static_cast<std::size_t>(r)].shuffled_bytes += segment.size();
       reducerSegments[static_cast<std::size_t>(r)].push_back(std::move(segment));
@@ -106,48 +169,106 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
     ThreadPool pool(config.reduce_slots);
     for (int r = 0; r < config.num_reducers; ++r) {
       pool.submit([&, r] {
-        // Reduce retry needs its input segments intact across attempts.
         const std::vector<Bytes> segments =
             std::move(reducerSegments[static_cast<std::size_t>(r)]);
-        for (int attempt = 1;; ++attempt) {
-          try {
-            Counters taskCounters;
-            MergedSegmentStream stream(segments, codecPtr.get(), config, taskCounters);
-            std::vector<KeyValue> output;
-            const EmitFn emit = [&](Bytes key, Bytes value) {
-              taskCounters.add(counter::kReduceOutputRecords, 1);
-              output.push_back(KeyValue{std::move(key), std::move(value)});
-            };
-            const u64 taskStart = nowUs();
-            config.grouper->run(stream, reduce, emit, taskCounters);
-            taskCounters.add(counter::kReduceCpuUs, nowUs() - taskStart);
-            ReduceTaskStats& stats = result.reduce_tasks[static_cast<std::size_t>(r)];
-            stats.cpu_us = taskCounters.get(counter::kReduceCpuUs) +
-                           taskCounters.get(counter::kCodecDecompressCpuUs);
-            stats.merge_materialized_bytes =
-                taskCounters.get(counter::kReduceMergeMaterializedBytes);
-            for (const auto& kv : output) stats.output_bytes += kv.key.size() + kv.value.size();
-            {
-              std::scoped_lock lock(outputsMutex);
-              result.outputs[static_cast<std::size_t>(r)] = std::move(output);
-            }
-            result.counters.merge(taskCounters);
-            break;
-          } catch (...) {
-            if (attempt >= config.max_task_attempts) {
-              recordError();
-              break;
-            }
-          }
-        }
+        runReduceTaskWithRetries(config, codec, nullptr, reduce, segments, result, outputsMutex,
+                                 r, errors);
       });
     }
     pool.wait();
   }
-  if (firstError) std::rethrow_exception(firstError);
+  errors.rethrowIfSet();
   result.timings.reduce_phase_us = nowUs() - reduceStart;
 
   return result;
+}
+
+/// Pipelined data path: an event-driven hand-off replaces the map barrier —
+/// as each map task's output materializes, its per-reducer segments are
+/// published to the ShuffleServer and fetching reducers pick them up while
+/// late map tasks are still running. Per-block codec work (spill-side
+/// compression, reduce-side decode-ahead) fans out across a shared pool.
+JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                          const ReduceFn& reduce, const Codec* codec) {
+  JobResult result;
+  result.map_tasks.resize(mapTasks.size());
+  result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
+  result.outputs.resize(static_cast<std::size_t>(config.num_reducers));
+  std::mutex outputsMutex;
+  ErrorSlot errors;
+
+  ThreadPool codecPool(codecPoolThreads(config));
+  ShuffleServer server(mapTasks.size(), config.num_reducers);
+
+  const u64 jobStart = nowUs();
+
+  // Reducers start first and block on the shuffle server; segments are slotted
+  // by map index so the merge sees the same deterministic order as the serial
+  // path regardless of arrival order.
+  ThreadPool reducePool(config.reduce_slots);
+  for (int r = 0; r < config.num_reducers; ++r) {
+    reducePool.submit([&, r] {
+      try {
+        std::vector<Bytes> segments(mapTasks.size());
+        u64 shuffled = 0;
+        while (auto fetched = server.fetch(r)) {
+          shuffled += fetched->segment.size();
+          segments[fetched->map_index] = std::move(fetched->segment);
+        }
+        result.counters.add(counter::kReduceShuffleBytes, shuffled);
+        result.reduce_tasks[static_cast<std::size_t>(r)].shuffled_bytes = shuffled;
+        runReduceTaskWithRetries(config, codec, &codecPool, reduce, segments, result,
+                                 outputsMutex, r, errors);
+      } catch (...) {
+        errors.record();  // shuffle aborted (the map error is already recorded)
+      }
+    });
+  }
+
+  {
+    ThreadPool mapPool(config.map_slots);
+    for (std::size_t m = 0; m < mapTasks.size(); ++m) {
+      mapPool.submit([&, m] {
+        auto output = runMapTaskWithRetries(config, codec, &codecPool, mapTasks[m],
+                                            result.map_tasks[m], result.counters, errors);
+        if (output.has_value()) server.publish(m, std::move(output->segments));
+      });
+    }
+    mapPool.wait();
+  }
+  const u64 mapEnd = nowUs();
+  result.timings.map_phase_us = mapEnd - jobStart;
+  {
+    std::scoped_lock lock(errors.mutex);
+    if (errors.first) server.abort();  // a map never published; unblock fetchers
+  }
+
+  reducePool.wait();
+  const u64 jobEnd = nowUs();
+  result.timings.reduce_phase_us = jobEnd - mapEnd;
+
+  const u64 firstPublish = server.firstPublishUs();
+  const u64 lastFetch = server.lastFetchUs();
+  if (firstPublish != 0 && lastFetch > firstPublish) {
+    result.timings.shuffle_us = lastFetch - firstPublish;
+    result.timings.shuffle_overlap_us = std::min(lastFetch, mapEnd) - std::min(firstPublish, mapEnd);
+  }
+
+  errors.rethrowIfSet();
+  return result;
+}
+
+}  // namespace
+
+JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                 const ReduceFn& reduce) {
+  check(config.num_reducers >= 1, "need at least one reducer");
+  registerTransformCodecs();  // ensure codec names resolve
+  const auto codecPtr = config.intermediate_codec == "null"
+                            ? nullptr
+                            : CodecRegistry::instance().create(config.intermediate_codec);
+  if (config.shuffle_pipeline) return runJobPipelined(config, mapTasks, reduce, codecPtr.get());
+  return runJobSerial(config, mapTasks, reduce, codecPtr.get());
 }
 
 }  // namespace scishuffle::hadoop

@@ -21,10 +21,18 @@ struct MapTask {
 /// Wall-clock phase durations measured during the run (microseconds).
 /// These are *local machine* timings; the cluster cost model combines them
 /// with byte counters to project the paper's 5-node setup.
+///
+/// Legacy (shuffle_pipeline = false): the three phases are disjoint and sum
+/// to the job wall clock. Pipelined: reducers fetch while maps still run, so
+/// shuffle_us is the first-publish..last-fetch window, shuffle_overlap_us is
+/// the part of that window hidden under the map phase, and
+/// map_phase_us + reduce_phase_us ~= job wall clock (reduce_phase_us is the
+/// tail after the last map finished).
 struct PhaseTimings {
-  u64 map_phase_us = 0;     // all map tasks, wall time of the phase
-  u64 shuffle_us = 0;       // segment hand-off (local copy)
-  u64 reduce_phase_us = 0;  // merge + reduce, wall time of the phase
+  u64 map_phase_us = 0;        // all map tasks, wall time of the phase
+  u64 shuffle_us = 0;          // segment hand-off window
+  u64 reduce_phase_us = 0;     // merge + reduce, wall time of the phase
+  u64 shuffle_overlap_us = 0;  // shuffle wall time overlapped with the map phase
 };
 
 /// Per-map-task record used by the event-driven cluster simulator: how much
@@ -40,6 +48,9 @@ struct ReduceTaskStats {
   u64 shuffled_bytes = 0;
   u64 merge_materialized_bytes = 0;
   u64 output_bytes = 0;
+  /// Streaming-merge decoded-bytes high-water mark (pipelined path only):
+  /// bounded by O(segments x block size) instead of total shuffled bytes.
+  u64 merge_resident_peak_bytes = 0;
 };
 
 struct JobResult {

@@ -1,0 +1,67 @@
+#include "hadoop/shuffle.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace scishuffle::hadoop {
+
+namespace {
+u64 nowUs() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+}  // namespace
+
+ShuffleServer::ShuffleServer(std::size_t numMaps, int numReducers) : numMaps_(numMaps) {
+  check(numReducers >= 1, "need at least one reducer");
+  queues_.resize(static_cast<std::size_t>(numReducers));
+}
+
+void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
+  check(segments.size() == queues_.size(), "segment count != reducer count");
+  {
+    std::scoped_lock lock(mutex_);
+    check(published_ < numMaps_, "more publishes than map tasks");
+    ++published_;
+    if (firstPublishUs_ == 0) firstPublishUs_ = nowUs();
+    for (std::size_t r = 0; r < queues_.size(); ++r) {
+      queues_[r].push_back(Fetched{mapIndex, std::move(segments[r])});
+    }
+  }
+  arrived_.notify_all();
+}
+
+std::optional<ShuffleServer::Fetched> ShuffleServer::fetch(int reducer) {
+  const auto r = static_cast<std::size_t>(reducer);
+  std::unique_lock lock(mutex_);
+  arrived_.wait(lock, [&] {
+    return aborted_ || !queues_[r].empty() || published_ == numMaps_;
+  });
+  if (aborted_) throw std::runtime_error("shuffle aborted: a map task failed permanently");
+  if (queues_[r].empty()) return std::nullopt;  // all maps published, queue drained
+  Fetched out = std::move(queues_[r].front());
+  queues_[r].pop_front();
+  lastFetchUs_ = nowUs();
+  return out;
+}
+
+void ShuffleServer::abort() {
+  {
+    std::scoped_lock lock(mutex_);
+    aborted_ = true;
+  }
+  arrived_.notify_all();
+}
+
+u64 ShuffleServer::firstPublishUs() const {
+  std::scoped_lock lock(mutex_);
+  return firstPublishUs_;
+}
+
+u64 ShuffleServer::lastFetchUs() const {
+  std::scoped_lock lock(mutex_);
+  return lastFetchUs_;
+}
+
+}  // namespace scishuffle::hadoop

@@ -1,0 +1,58 @@
+// Event-driven shuffle hand-off, the in-memory stand-in for Hadoop's
+// ShuffleHandler: each map task publishes its per-reducer segments the moment
+// it materializes them, and reducers block-fetch segments as they arrive —
+// so reduce-side fetch and first-block decode overlap the tail of the map
+// phase instead of waiting behind a map barrier (PhaseTimings records how
+// much shuffle wall-time hid under the map phase as shuffle_overlap_us).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "hadoop/types.h"
+
+namespace scishuffle::hadoop {
+
+class ShuffleServer {
+ public:
+  ShuffleServer(std::size_t numMaps, int numReducers);
+
+  /// Publishes map task `mapIndex`'s materialized output, one segment per
+  /// reducer. Thread-safe; each map publishes exactly once (a retried map
+  /// attempt publishes only after it succeeds).
+  void publish(std::size_t mapIndex, std::vector<Bytes> segments);
+
+  struct Fetched {
+    std::size_t map_index = 0;
+    Bytes segment;
+  };
+
+  /// Blocks until a segment for `reducer` is available; returns nullopt once
+  /// every map has published and this reducer drained its queue. Throws
+  /// std::runtime_error after abort().
+  std::optional<Fetched> fetch(int reducer);
+
+  /// Wakes every fetcher with an error — called when a map task fails
+  /// permanently and its segments will never arrive.
+  void abort();
+
+  /// Steady-clock microsecond timestamps for overlap accounting; 0 if the
+  /// event never happened.
+  u64 firstPublishUs() const;
+  u64 lastFetchUs() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::vector<std::deque<Fetched>> queues_;  // per reducer
+  std::size_t numMaps_;
+  std::size_t published_ = 0;
+  bool aborted_ = false;
+  u64 firstPublishUs_ = 0;
+  u64 lastFetchUs_ = 0;
+};
+
+}  // namespace scishuffle::hadoop

@@ -22,9 +22,40 @@ std::filesystem::path uniqueSpillPath(const std::filesystem::path& dir, std::siz
 }
 }  // namespace
 
-MapOutputBuffer::MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters)
-    : config_(&config), codec_(codec), counters_(&counters) {
+MapOutputBuffer::MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters,
+                                 ThreadPool* codecPool)
+    : config_(&config), codec_(codec), counters_(&counters), codecPool_(codecPool) {
   buffer_.resize(static_cast<std::size_t>(config.num_reducers));
+}
+
+Bytes MapOutputBuffer::writeSegment(const std::vector<KeyValue>& records) {
+  if (config_->shuffle_pipeline) {
+    IFileBlockWriter writer(codec_, config_->shuffle_block_bytes, codecPool_);
+    for (const KeyValue& kv : records) writer.append(kv.key, kv.value);
+    Bytes segment = writer.close();
+    counters_->add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+    return segment;
+  }
+  IFileWriter writer(codec_);
+  for (const KeyValue& kv : records) writer.append(kv.key, kv.value);
+  Bytes segment = writer.close();
+  counters_->add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+  return segment;
+}
+
+std::vector<KeyValue> MapOutputBuffer::readSegmentRecords(const Bytes& segment) {
+  std::vector<KeyValue> records;
+  if (config_->shuffle_pipeline) {
+    BlockDecodeSource source(segment, codec_, codecPool_);
+    IFileStreamReader reader(source);
+    while (auto kv = reader.next()) records.push_back(std::move(*kv));
+    counters_->add(counter::kCodecDecompressCpuUs, source.decompressCpuUs());
+  } else {
+    IFileReader reader(segment, codec_);
+    counters_->add(counter::kCodecDecompressCpuUs, reader.decompressCpuUs());
+    while (auto kv = reader.next()) records.push_back(std::move(*kv));
+  }
+  return records;
 }
 
 void MapOutputBuffer::collect(int partition, KeyValue kv) {
@@ -77,10 +108,7 @@ void MapOutputBuffer::spill() {
     auto records = sortAndCombine(std::move(buffer_[p]), /*useCombiner=*/true);
     buffer_[p].clear();
     counters_->add(counter::kSpilledRecords, records.size());
-    IFileWriter writer(codec_);
-    for (const KeyValue& kv : records) writer.append(kv.key, kv.value);
-    Bytes segment = writer.close();
-    counters_->add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+    Bytes segment = writeSegment(records);
     if (toDisk) {
       spill.spillFiles[p] = uniqueSpillPath(config_->spill_dir, p);
       FileSink file(spill.spillFiles[p]);
@@ -115,15 +143,10 @@ MapOutput MapOutputBuffer::finish() {
       std::vector<KeyValue> all;
       for (auto& s : spills_) {
         const Bytes segment = segmentBytes(s, p);
-        IFileReader reader(segment, codec_);
-        counters_->add(counter::kCodecDecompressCpuUs, reader.decompressCpuUs());
-        while (auto kv = reader.next()) all.push_back(std::move(*kv));
+        for (auto& kv : readSegmentRecords(segment)) all.push_back(std::move(kv));
       }
       auto records = sortAndCombine(std::move(all), /*useCombiner=*/true);
-      IFileWriter writer(codec_);
-      for (const KeyValue& kv : records) writer.append(kv.key, kv.value);
-      out.segments[p] = writer.close();
-      counters_->add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
+      out.segments[p] = writeSegment(records);
     }
     counters_->add(counter::kMapOutputMaterializedBytes, out.segments[p].size());
   }

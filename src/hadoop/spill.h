@@ -1,5 +1,11 @@
 // Map-side output collection: buffer, sort, (combine), spill to IFile
 // segments, and final merge of spills — steps 2-3 of the paper's Fig. 1.
+//
+// With JobConfig::shuffle_pipeline on, segments are materialized as
+// block-framed codec containers and per-block compression fans out across
+// the shared codec pool instead of one monolithic codec->compress() call per
+// segment; CODEC_COMPRESS_CPU_US still sums per-block CPU so the cluster
+// cost model stays honest.
 #pragma once
 
 #include <memory>
@@ -9,6 +15,7 @@
 #include "hadoop/counters.h"
 #include "hadoop/ifile.h"
 #include "hadoop/job.h"
+#include "io/thread_pool.h"
 
 namespace scishuffle::hadoop {
 
@@ -19,7 +26,10 @@ struct MapOutput {
 
 class MapOutputBuffer {
  public:
-  MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters);
+  /// `codecPool` (may be null) parallelizes per-block compression on the
+  /// pipelined path; it is shared across concurrent map tasks.
+  MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters,
+                  ThreadPool* codecPool = nullptr);
 
   /// Collects a record already routed to `partition`.
   void collect(int partition, KeyValue kv);
@@ -36,12 +46,17 @@ class MapOutputBuffer {
   void spill();
   /// Segment bytes for (spill, partition), reading back from disk if needed.
   Bytes segmentBytes(const Spill& s, std::size_t partition) const;
+  /// Serializes sorted records into a segment (block-framed or legacy).
+  Bytes writeSegment(const std::vector<KeyValue>& records);
+  /// Parses every record back out of a segment (streaming on the block path).
+  std::vector<KeyValue> readSegmentRecords(const Bytes& segment);
   /// Sorts records of one partition and runs the combiner over equal keys.
   std::vector<KeyValue> sortAndCombine(std::vector<KeyValue>&& records, bool useCombiner);
 
   const JobConfig* config_;
   const Codec* codec_;
   Counters* counters_;
+  ThreadPool* codecPool_;
   std::vector<std::vector<KeyValue>> buffer_;  // per partition
   std::size_t bufferedBytes_ = 0;
   std::vector<Spill> spills_;

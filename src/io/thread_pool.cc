@@ -1,0 +1,53 @@
+#include "io/thread_pool.h"
+
+namespace scishuffle {
+
+ThreadPool::ThreadPool(int slots) : slots_(slots) {
+  check(slots >= 1, "need at least one slot");
+  workers_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push(std::move(task));
+    ++inFlight_;
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::scoped_lock lock(mutex_);
+      --inFlight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,61 @@
+// Minimal fixed-size thread pool. The hadoop layer uses it to model
+// map/reduce "slots" (at most `slots` tasks execute concurrently, the rest
+// queue, mirroring Hadoop's per-node task slots); the block-framed codec
+// container uses it to fan per-block compression and decode-ahead work out
+// across cores.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int slots);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; wrap exceptions yourself.
+  void submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result; exceptions
+  /// thrown by the callable are captured into the future.
+  template <typename F>
+  auto submitTask(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    submit([task] { (*task)(); });
+    return task->get_future();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  int slots() const { return slots_; }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  int inFlight_ = 0;
+  int slots_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace scishuffle

@@ -2,11 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
-#include "hadoop/thread_pool.h"
+#include "io/thread_pool.h"
 
-namespace scishuffle::hadoop {
+namespace scishuffle {
 namespace {
 
 TEST(ThreadPoolTest, RunsEveryTask) {
@@ -73,5 +74,13 @@ TEST(ThreadPoolTest, SingleSlotIsSerial) {
   for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(ThreadPoolTest, SubmitTaskReturnsResultsAndExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.submitTask([] { return 41 + 1; });
+  auto bad = pool.submitTask([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
 }  // namespace
-}  // namespace scishuffle::hadoop
+}  // namespace scishuffle
