@@ -87,6 +87,11 @@ struct CodecRow {
   std::string codec;
   RunStats serial;
   RunStats pipeline;
+  // A third, instrumented pipeline run: per-stage histograms for the JSON
+  // artifact plus the traced wall clock (tracing overhead visibility). The
+  // timed A/B runs above keep tracing off.
+  double traced_wall_s = 0;
+  std::vector<obs::HistogramSnapshot> histograms;
 };
 
 // Record-level counters only: timings, byte framing, and CPU accounting are
@@ -143,6 +148,14 @@ int main() {
       std::cerr << "FAIL: pipelined path diverged from serial baseline for " << codec << "\n";
       return 1;
     }
+
+    config.shuffle_pipeline = true;
+    config.collect_histograms = true;
+    bench::Timer tracedTimer;
+    JobResult traced = hadoop::runJob(config, tasks, reduce);
+    row.traced_wall_s = tracedTimer.seconds();
+    row.histograms = std::move(traced.telemetry.histograms);
+
     rows.push_back(std::move(row));
   }
 
@@ -165,20 +178,40 @@ int main() {
   if (cores < 4) std::cout << "; this machine has " << cores << ", so not applicable";
   std::cout << ")\n";
 
-  std::ofstream json("BENCH_shuffle.json");
-  json << "{\n  \"cores\": " << cores << ",\n  \"runs\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const CodecRow& row = rows[i];
-    const auto emit = [&](const char* mode, const RunStats& s, bool last) {
-      json << "    {\"codec\": \"" << row.codec << "\", \"mode\": \"" << mode
-           << "\", \"wall_s\": " << bench::fixed(s.wall_s, 6)
-           << ", \"shuffle_overlap_us\": " << s.shuffle_overlap_us
-           << ", \"peak_rss_bytes\": " << s.peak_rss_bytes << "}" << (last ? "\n" : ",\n");
-    };
-    emit("serial", row.serial, false);
-    emit("pipeline", row.pipeline, i + 1 == rows.size());
+  {
+    bench::JsonFile json("BENCH_shuffle.json");
+    bench::JsonWriter& w = json.writer();
+    w.beginObject();
+    w.kv("cores", static_cast<u64>(cores));
+    w.key("runs").beginArray();
+    for (const CodecRow& row : rows) {
+      const auto emit = [&](const char* mode, const RunStats& s) {
+        w.beginObject();
+        w.kv("codec", row.codec);
+        w.kv("mode", mode);
+        w.kv("wall_s", s.wall_s);
+        w.kv("shuffle_overlap_us", s.shuffle_overlap_us);
+        w.kv("peak_rss_bytes", s.peak_rss_bytes);
+        w.endObject();
+      };
+      emit("serial", row.serial);
+      emit("pipeline", row.pipeline);
+    }
+    w.endArray();
+    // Per-stage histograms from the instrumented pipeline run of each codec.
+    w.key("stages").beginArray();
+    for (const CodecRow& row : rows) {
+      w.beginObject();
+      w.kv("codec", row.codec);
+      w.kv("traced_wall_s", row.traced_wall_s);
+      w.kv("untraced_wall_s", row.pipeline.wall_s);
+      w.key("histograms");
+      bench::writeHistogramSummaries(w, row.histograms);
+      w.endObject();
+    }
+    w.endArray();
+    w.endObject();
   }
-  json << "  ]\n}\n";
-  std::cout << "wrote BENCH_shuffle.json\n";
+  std::cout << "wrote BENCH_shuffle.json (runs + per-stage histograms)\n";
   return 0;
 }

@@ -4,11 +4,16 @@
 //   scishuffle_cli info <file.nc>                           list variables
 //   scishuffle_cli query <file.nc> <variable> <median|mean|sum>
 //                  [--aggregate] [--radius R] [--mappers M] [--reducers R]
-//                  [--codec C] [--curve C] [--report]
-//                  [--out out.seq]                          run a sliding query
+//                  [--codec C] [--curve C] [--report] [--json-report]
+//                  [--trace trace.json] [--out out.seq]     run a sliding query
 //   scishuffle_cli slab <file.nc> <variable> <median|mean|sum> <dim> [dim...]
 //                  [--mappers M] [--reducers R] [--combiner] [--report]
-//                                                           reduce away dims
+//                  [--json-report] [--trace trace.json]     reduce away dims
+//
+// --trace writes a Chrome trace_event JSON covering the full shuffle data
+// path (open in chrome://tracing or ui.perfetto.dev); --json-report prints
+// the machine-readable run report with per-stage histograms. Both are
+// documented in docs/OBSERVABILITY.md.
 //   scishuffle_cli codec <name> <in> <out.z>                compress a file
 //   scishuffle_cli decodec <name> <in.z> <out>              decompress a file
 //   scishuffle_cli inspect <file>                           stride detection report
@@ -84,6 +89,7 @@ int cmdQuery(const std::vector<std::string>& args) {
   hadoop::JobConfig job;
   bool aggregate = false;
   bool report = false;
+  bool jsonReport = false;
   std::filesystem::path outPath;
   for (std::size_t i = 3; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
@@ -94,6 +100,12 @@ int cmdQuery(const std::vector<std::string>& args) {
       aggregate = true;
     } else if (args[i] == "--report") {
       report = true;
+    } else if (args[i] == "--json-report") {
+      jsonReport = true;
+      job.collect_histograms = true;
+    } else if (args[i] == "--trace") {
+      job.trace_path = next();
+      job.collect_histograms = true;
     } else if (args[i] == "--radius") {
       query.window_radius = std::stoi(next());
     } else if (args[i] == "--mappers") {
@@ -118,12 +130,17 @@ int cmdQuery(const std::vector<std::string>& args) {
                                            : buildSimpleSlidingJob(input, query, job);
   const auto result = hadoop::runJob(prepared.job, prepared.map_tasks, prepared.reduce);
 
-  if (report) {
+  if (jsonReport) {
+    std::cout << hadoop::jobReportJson(result);
+  } else if (report) {
     std::cout << hadoop::jobReport(result);
   } else {
     std::cout << result.counters.toString();
     std::cout << "map phase " << result.timings.map_phase_us / 1000 << " ms, reduce phase "
               << result.timings.reduce_phase_us / 1000 << " ms\n";
+  }
+  if (!job.trace_path.empty()) {
+    std::cerr << "wrote trace to " << job.trace_path << " (open in chrome://tracing)\n";
   }
 
   if (!outPath.empty()) {
@@ -154,6 +171,7 @@ int cmdSlab(const std::vector<std::string>& args) {
   query.op = parseOp(args[2]);
   hadoop::JobConfig job;
   bool report = false;
+  bool jsonReport = false;
   for (std::size_t i = 3; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       check(i + 1 < args.size(), "flag needs a value");
@@ -168,6 +186,12 @@ int cmdSlab(const std::vector<std::string>& args) {
       query.use_combiner = true;
     } else if (args[i] == "--report") {
       report = true;
+    } else if (args[i] == "--json-report") {
+      jsonReport = true;
+      job.collect_histograms = true;
+    } else if (args[i] == "--trace") {
+      job.trace_path = next();
+      job.collect_histograms = true;
     } else if (!args[i].empty() && args[i][0] != '-') {
       query.reduced_dims.push_back(std::stoi(args[i]));
     } else {
@@ -178,7 +202,14 @@ int cmdSlab(const std::vector<std::string>& args) {
 
   const auto prepared = buildAggregateSlabJob(input, query, job);
   const auto result = hadoop::runJob(prepared.job, prepared.map_tasks, prepared.reduce);
-  std::cout << (report ? hadoop::jobReport(result) : hadoop::jobSummaryLine(result) + "\n");
+  if (jsonReport) {
+    std::cout << hadoop::jobReportJson(result);
+  } else {
+    std::cout << (report ? hadoop::jobReport(result) : hadoop::jobSummaryLine(result) + "\n");
+  }
+  if (!job.trace_path.empty()) {
+    std::cerr << "wrote trace to " << job.trace_path << " (open in chrome://tracing)\n";
+  }
   return 0;
 }
 
@@ -229,6 +260,17 @@ int cmdSelftest() {
                    "--out", seq});
   }
   if (rc == 0) rc = cmdSlab({nc, "pressure", "sum", "1", "--combiner", "--report"});
+  if (rc == 0) {
+    // Observability round trip: traced run must leave a non-empty Chrome
+    // trace file and a JSON report on stdout.
+    const auto trace = (dir / "trace.json").string();
+    rc = cmdQuery({nc, "pressure", "median", "--aggregate", "--mappers", "4", "--reducers", "3",
+                   "--trace", trace, "--json-report"});
+    if (rc == 0) {
+      FileSource t(trace);
+      check(!t.readAll().empty(), "trace file is empty");
+    }
+  }
   if (rc == 0) rc = cmdCodec({"transform+gzipish", nc, z}, /*decompress=*/false);
   if (rc == 0) rc = cmdCodec({"transform+gzipish", z, back}, /*decompress=*/true);
   if (rc == 0) {

@@ -11,6 +11,32 @@
 
 namespace scishuffle::bench {
 
+JsonFile::JsonFile(const std::filesystem::path& path) : file_(path), writer_(file_) {
+  check(file_.good(), "cannot open bench JSON output file");
+}
+
+JsonFile::~JsonFile() {
+  check(writer_.done(), "bench JSON file closed with an open container");
+  file_ << "\n";
+}
+
+void writeHistogramSummaries(JsonWriter& w,
+                             const std::vector<obs::HistogramSnapshot>& histograms) {
+  w.beginArray();
+  for (const auto& h : histograms) {
+    w.beginObject();
+    w.kv("name", h.name);
+    w.kv("unit", h.unit);
+    w.kv("count", h.count);
+    w.kv("p50", h.p50());
+    w.kv("p95", h.p95());
+    w.kv("p99", h.p99());
+    w.kv("max", h.max);
+    w.endObject();
+  }
+  w.endArray();
+}
+
 std::string withCommas(u64 v) {
   std::string digits = std::to_string(v);
   std::string out;

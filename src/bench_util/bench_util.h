@@ -4,13 +4,39 @@
 #pragma once
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "grid/dataset.h"
 #include "io/common.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace scishuffle::bench {
+
+/// The shared JSON writer every BENCH_*.json file goes through (same writer
+/// that backs trace export and jobReportJson()).
+using JsonWriter = obs::JsonWriter;
+
+/// Owns an output file + JsonWriter pair for a BENCH_*.json artifact.
+class JsonFile {
+ public:
+  explicit JsonFile(const std::filesystem::path& path);
+  ~JsonFile();  // asserts the root container was closed, appends newline
+
+  JsonWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream file_;
+  JsonWriter writer_;
+};
+
+/// Emits compact histogram summaries (name/unit/count/p50/p95/p99/max) as a
+/// JSON array value — the per-stage section of a bench result file.
+void writeHistogramSummaries(JsonWriter& w,
+                             const std::vector<obs::HistogramSnapshot>& histograms);
 
 /// Seconds-resolution wall timer.
 class Timer {

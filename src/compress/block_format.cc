@@ -6,6 +6,7 @@
 #include "io/crc32.h"
 #include "io/primitives.h"
 #include "io/varint.h"
+#include "obs/trace.h"
 
 namespace scishuffle {
 
@@ -36,9 +37,12 @@ BlockCompressedWriter::Sealed BlockCompressedWriter::compressBlock(Bytes raw) co
   Sealed s;
   s.rawLen = raw.size();
   s.crc = crc32(raw);
+  obs::ScopedSpan span("block_compress", "codec");
   const u64 start = nowUs();
   s.compressed = codec_ != nullptr ? codec_->compress(raw) : std::move(raw);
   cpuUs_.fetch_add(nowUs() - start, std::memory_order_relaxed);
+  span.arg("raw_bytes", s.rawLen);
+  span.arg("compressed_bytes", s.compressed.size());
   return s;
 }
 
@@ -138,6 +142,9 @@ std::optional<BlockCompressedReader::Frame> BlockCompressedReader::nextFrame() {
 }
 
 Bytes BlockCompressedReader::decodeFrame(const Frame& frame) const {
+  obs::ScopedSpan span("block_decode", "codec");
+  span.arg("raw_bytes", frame.rawLen);
+  span.arg("compressed_bytes", frame.payload.size());
   Bytes raw;
   const u64 start = nowUs();
   if (codec_ != nullptr) {

@@ -20,6 +20,11 @@ void Counters::add(const std::string& name, u64 delta) {
   values_[name] += delta;
 }
 
+void Counters::set(const std::string& name, u64 value) {
+  std::scoped_lock lock(mutex_);
+  values_[name] = value;
+}
+
 u64 Counters::get(const std::string& name) const {
   std::scoped_lock lock(mutex_);
   const auto it = values_.find(name);

@@ -27,8 +27,10 @@ inline constexpr const char* kReduceMergeMaterializedBytes = "REDUCE_MERGE_MATER
 // Upper bound on decoded bytes resident during the streaming merge: the sum,
 // over segment readers, of each reader's decoded-block high-water mark. With
 // the pipelined shuffle this is O(segments x block size) instead of the
-// legacy whole-segment materialization. Summed across reduce tasks when read
-// from the job-level counters; per-task values are in ReduceTaskStats.
+// legacy whole-segment materialization. At the job level this is the MAX
+// over reduce tasks (the largest single merge), not the sum — summing
+// per-task peaks would overstate concurrent residency whenever
+// reduce_slots < reduce tasks; per-task values are in ReduceTaskStats.
 inline constexpr const char* kReduceMergeResidentPeakBytes = "REDUCE_MERGE_RESIDENT_PEAK_BYTES";
 inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
 inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
@@ -52,6 +54,10 @@ class Counters {
 
   void add(const std::string& name, u64 delta);
   u64 get(const std::string& name) const;
+
+  /// Overwrites a counter (used for job-level values that are a max over
+  /// tasks rather than a sum, e.g. REDUCE_MERGE_RESIDENT_PEAK_BYTES).
+  void set(const std::string& name, u64 value);
 
   /// Adds every counter from `other` into this.
   void merge(const Counters& other);

@@ -54,6 +54,20 @@ struct JobConfig {
   /// directory must exist.
   std::filesystem::path spill_dir;
 
+  /// When set, the runtime records spans for the whole Fig. 1 data path
+  /// (map tasks, spills, per-block codec work, segment publish/fetch, merge
+  /// passes, reduce tasks) and writes a Chrome trace_event JSON file here at
+  /// job end — loadable in chrome://tracing or ui.perfetto.dev. See
+  /// docs/OBSERVABILITY.md for the span taxonomy.
+  std::filesystem::path trace_path;
+
+  /// Collect per-stage latency/size histograms into JobResult::telemetry
+  /// (p50/p95/p99 summaries in jobReport() and jobReportJson()). Implies
+  /// span recording for the duration of the job even when trace_path is
+  /// empty; leave off for benchmark baselines that must not pay tracing
+  /// overhead.
+  bool collect_histograms = false;
+
   /// Attempts per task before the job fails (Hadoop's
   /// mapreduce.map/reduce.maxattempts; its fault tolerance is the paper's
   /// stated reason for wanting HPC codes on Hadoop at all). Each retry

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace scishuffle::hadoop {
 
 std::optional<KeyValue> MergedSegmentStream::Head::advance() {
@@ -16,6 +18,8 @@ MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Code
       counters_(&counters),
       codecPool_(codecPool),
       streaming_(config.shuffle_pipeline) {
+  obs::ScopedSpan span("merge_open", "merge");
+  span.arg("segments", segments.size());
   // Multi-pass merging: while too many segments, merge the smallest
   // merge_factor of them into one re-materialized segment.
   while (static_cast<int>(segments.size()) > config.merge_factor) {
@@ -60,6 +64,8 @@ void MergedSegmentStream::reduceSegmentCount(std::vector<Bytes>& segments, const
                    [](const Bytes& a, const Bytes& b) { return a.size() < b.size(); });
   const std::size_t take = std::min<std::size_t>(static_cast<std::size_t>(config_->merge_factor),
                                                  segments.size());
+  obs::ScopedSpan span("merge_pass", "merge");
+  span.arg("segments_in", take);
 
   Bytes merged;
   if (streaming_) {
@@ -121,6 +127,7 @@ void MergedSegmentStream::reduceSegmentCount(std::vector<Bytes>& segments, const
     counters.add(counter::kCodecCompressCpuUs, writer.compressCpuUs());
   }
   counters.add(counter::kReduceMergeMaterializedBytes, merged.size());
+  span.arg("materialized_bytes", merged.size());
 
   segments.erase(segments.begin(), segments.begin() + static_cast<std::ptrdiff_t>(take));
   segments.push_back(std::move(merged));

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace scishuffle::hadoop {
 
 namespace {
@@ -57,11 +59,20 @@ std::string jobReport(const JobResult& result) {
        << result.counters.get(c::kReduceMergeMaterializedBytes) << " bytes)";
   }
   os << "\n";
+  if (result.counters.get(c::kReduceMergeResidentPeakBytes) > 0) {
+    os << "merge residency: peak " << result.counters.get(c::kReduceMergeResidentPeakBytes)
+       << " decoded bytes (max over reduce tasks)\n";
+  }
   os << "reduce: " << result.counters.get(c::kReduceInputGroups) << " groups, "
      << result.counters.get(c::kReduceOutputRecords) << " output records\n";
+  // Aggregation-path counters (§IV): present whenever aggregate keys flowed
+  // through the job, so those runs are self-describing.
   if (result.counters.get(c::kKeySplitsOverlap) > 0 ||
-      result.counters.get(c::kKeySplitsRouting) > 0) {
-    os << "key splits: routing " << result.counters.get(c::kKeySplitsRouting) << ", overlap "
+      result.counters.get(c::kKeySplitsRouting) > 0 ||
+      result.counters.get(c::kAggregateFlushes) > 0) {
+    os << "aggregation: " << result.counters.get(c::kAggregateFlushes)
+       << " aggregate flushes, key splits: routing "
+       << result.counters.get(c::kKeySplitsRouting) << ", overlap "
        << result.counters.get(c::kKeySplitsOverlap) << "\n";
   }
 
@@ -78,6 +89,63 @@ std::string jobReport(const JobResult& result) {
   printSkew(os, "map cpu", skewOf(std::move(mapCpu)), " ms");
   printSkew(os, "map output", skewOf(std::move(mapBytes)), " B");
   printSkew(os, "reduce input", skewOf(std::move(reduceBytes)), " B");
+
+  // Per-stage histograms (JobConfig::collect_histograms).
+  if (!result.telemetry.histograms.empty()) {
+    os << "histograms (" << result.telemetry.span_count << " spans):\n";
+    for (const auto& h : result.telemetry.histograms) {
+      os << "  " << h.name << ": n=" << h.count << " p50=" << h.p50() << " p95=" << h.p95()
+         << " p99=" << h.p99() << " max=" << h.max << " " << h.unit << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string jobReportJson(const JobResult& result) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.beginObject();
+  w.kv("schema", "scishuffle.job_report.v1");
+
+  w.key("timings").beginObject();
+  w.kv("map_phase_us", result.timings.map_phase_us);
+  w.kv("shuffle_us", result.timings.shuffle_us);
+  w.kv("reduce_phase_us", result.timings.reduce_phase_us);
+  w.kv("shuffle_overlap_us", result.timings.shuffle_overlap_us);
+  w.endObject();
+
+  w.key("counters").beginObject();
+  for (const auto& [name, value] : result.counters.snapshot()) w.kv(name, value);
+  w.endObject();
+
+  w.key("map_tasks").beginArray();
+  for (const auto& t : result.map_tasks) {
+    w.beginObject();
+    w.kv("cpu_us", t.cpu_us);
+    w.key("segment_bytes").beginArray();
+    for (const u64 b : t.segment_bytes) w.value(b);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("reduce_tasks").beginArray();
+  for (const auto& t : result.reduce_tasks) {
+    w.beginObject();
+    w.kv("cpu_us", t.cpu_us);
+    w.kv("shuffled_bytes", t.shuffled_bytes);
+    w.kv("merge_materialized_bytes", t.merge_materialized_bytes);
+    w.kv("merge_resident_peak_bytes", t.merge_resident_peak_bytes);
+    w.kv("output_bytes", t.output_bytes);
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("telemetry");
+  result.telemetry.writeJson(w);
+
+  w.endObject();
+  os << "\n";
   return os.str();
 }
 

@@ -9,9 +9,17 @@
 
 namespace scishuffle::hadoop {
 
-/// Multi-line report: phase timings, headline counters, and per-task
-/// min/median/max skew for map CPU, map output and reduce input.
+/// Multi-line report: phase timings, headline counters (including the
+/// aggregation-path counters when the job used aggregate keys), per-task
+/// min/median/max skew for map CPU, map output and reduce input, and — when
+/// JobConfig::collect_histograms was on — per-stage p50/p95/p99 histograms.
 std::string jobReport(const JobResult& result);
+
+/// Machine-readable run report (schema "scishuffle.job_report.v1"): phase
+/// timings, the full counter snapshot, per-task stats, and the telemetry
+/// block (span count, gauges, histograms). Powers `scishuffle_cli
+/// --json-report`; schema documented in docs/OBSERVABILITY.md.
+std::string jobReportJson(const JobResult& result);
 
 /// One-line summary (records in/out, materialized bytes, wall time).
 std::string jobSummaryLine(const JobResult& result);

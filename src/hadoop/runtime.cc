@@ -10,6 +10,7 @@
 #include "hadoop/merge.h"
 #include "hadoop/shuffle.h"
 #include "io/thread_pool.h"
+#include "obs/trace.h"
 #include "transform/transform_codec.h"
 
 namespace scishuffle::hadoop {
@@ -47,10 +48,13 @@ struct ErrorSlot {
 /// fresh counters) and the task re-executes.
 std::optional<MapOutput> runMapTaskWithRetries(const JobConfig& config, const Codec* codec,
                                                ThreadPool* codecPool, const MapTask& task,
-                                               MapTaskStats& stats, Counters& jobCounters,
-                                               ErrorSlot& errors) {
+                                               std::size_t taskIndex, MapTaskStats& stats,
+                                               Counters& jobCounters, ErrorSlot& errors) {
   for (int attempt = 1;; ++attempt) {
     try {
+      obs::ScopedSpan span("map_task", "map");
+      span.arg("task", taskIndex);
+      span.arg("attempt", static_cast<u64>(attempt));
       Counters taskCounters;
       MapOutputBuffer buffer(config, codec, taskCounters, codecPool);
       const u64 taskStart = nowUs();
@@ -66,9 +70,13 @@ std::optional<MapOutput> runMapTaskWithRetries(const JobConfig& config, const Co
                      taskCounters.get(counter::kSortCpuUs) +
                      taskCounters.get(counter::kCodecCompressCpuUs);
       stats.segment_bytes.reserve(output.segments.size());
+      u64 materialized = 0;
       for (const Bytes& segment : output.segments) {
         stats.segment_bytes.push_back(segment.size());
+        materialized += segment.size();
       }
+      span.arg("records", taskCounters.get(counter::kMapOutputRecords));
+      span.arg("materialized_bytes", materialized);
       jobCounters.merge(taskCounters);
       return output;
     } catch (...) {
@@ -89,6 +97,9 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
                               ErrorSlot& errors) {
   for (int attempt = 1;; ++attempt) {
     try {
+      obs::ScopedSpan span("reduce_task", "reduce");
+      span.arg("reducer", static_cast<u64>(r));
+      span.arg("attempt", static_cast<u64>(attempt));
       Counters taskCounters;
       MergedSegmentStream stream(segments, codec, config, taskCounters, codecPool);
       std::vector<KeyValue> output;
@@ -99,6 +110,7 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
       const u64 taskStart = nowUs();
       config.grouper->run(stream, reduce, emit, taskCounters);
       taskCounters.add(counter::kReduceCpuUs, nowUs() - taskStart);
+      span.arg("output_records", taskCounters.get(counter::kReduceOutputRecords));
       ReduceTaskStats& stats = result.reduce_tasks[static_cast<std::size_t>(r)];
       stats.cpu_us = taskCounters.get(counter::kReduceCpuUs) +
                      taskCounters.get(counter::kCodecDecompressCpuUs);
@@ -137,10 +149,11 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   // ---- Map phase (steps 1-3): map, combine, sort, spill, merge spills.
   const u64 mapStart = nowUs();
   {
+    obs::ScopedSpan phase("map_phase", "map");
     ThreadPool pool(config.map_slots);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       pool.submit([&, m] {
-        mapOutputs[m] = runMapTaskWithRetries(config, codec, nullptr, mapTasks[m],
+        mapOutputs[m] = runMapTaskWithRetries(config, codec, nullptr, mapTasks[m], m,
                                               result.map_tasks[m], result.counters, errors);
       });
     }
@@ -152,13 +165,19 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   // ---- Shuffle (step 4): every reducer fetches its segment from every map.
   const u64 shuffleStart = nowUs();
   std::vector<std::vector<Bytes>> reducerSegments(static_cast<std::size_t>(config.num_reducers));
-  for (auto& mo : mapOutputs) {
-    for (int r = 0; r < config.num_reducers; ++r) {
-      Bytes& segment = mo->segments[static_cast<std::size_t>(r)];
-      result.counters.add(counter::kReduceShuffleBytes, segment.size());
-      result.reduce_tasks[static_cast<std::size_t>(r)].shuffled_bytes += segment.size();
-      reducerSegments[static_cast<std::size_t>(r)].push_back(std::move(segment));
+  {
+    obs::ScopedSpan span("shuffle_copy", "shuffle");
+    u64 copied = 0;
+    for (auto& mo : mapOutputs) {
+      for (int r = 0; r < config.num_reducers; ++r) {
+        Bytes& segment = mo->segments[static_cast<std::size_t>(r)];
+        copied += segment.size();
+        result.counters.add(counter::kReduceShuffleBytes, segment.size());
+        result.reduce_tasks[static_cast<std::size_t>(r)].shuffled_bytes += segment.size();
+        reducerSegments[static_cast<std::size_t>(r)].push_back(std::move(segment));
+      }
     }
+    span.arg("bytes", copied);
   }
   result.timings.shuffle_us = nowUs() - shuffleStart;
 
@@ -166,6 +185,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   result.outputs.resize(static_cast<std::size_t>(config.num_reducers));
   const u64 reduceStart = nowUs();
   {
+    obs::ScopedSpan phase("reduce_phase", "reduce");
     ThreadPool pool(config.reduce_slots);
     for (int r = 0; r < config.num_reducers; ++r) {
       pool.submit([&, r] {
@@ -211,7 +231,15 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
       try {
         std::vector<Bytes> segments(mapTasks.size());
         u64 shuffled = 0;
-        while (auto fetched = server.fetch(r)) {
+        for (;;) {
+          // The span covers the blocking wait too: fetch-wait time is the
+          // "reducer idle behind stragglers" signal a trace should show.
+          obs::ScopedSpan span("segment_fetch", "shuffle");
+          auto fetched = server.fetch(r);
+          if (!fetched) break;
+          span.arg("reducer", static_cast<u64>(r));
+          span.arg("map", fetched->map_index);
+          span.arg("bytes", fetched->segment.size());
           shuffled += fetched->segment.size();
           segments[fetched->map_index] = std::move(fetched->segment);
         }
@@ -226,10 +254,11 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   }
 
   {
+    obs::ScopedSpan phase("map_phase", "map");
     ThreadPool mapPool(config.map_slots);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       mapPool.submit([&, m] {
-        auto output = runMapTaskWithRetries(config, codec, &codecPool, mapTasks[m],
+        auto output = runMapTaskWithRetries(config, codec, &codecPool, mapTasks[m], m,
                                             result.map_tasks[m], result.counters, errors);
         if (output.has_value()) server.publish(m, std::move(output->segments));
       });
@@ -258,6 +287,16 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   return result;
 }
 
+/// Installs a TraceRecorder as the process-wide active recorder for the
+/// duration of a job; clears it on every exit path so instrumentation never
+/// outlives the recorder.
+struct ActiveTraceGuard {
+  explicit ActiveTraceGuard(obs::TraceRecorder* recorder) {
+    if (recorder != nullptr) obs::setActiveTrace(recorder);
+  }
+  ~ActiveTraceGuard() { obs::setActiveTrace(nullptr); }
+};
+
 }  // namespace
 
 JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
@@ -267,8 +306,40 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
   const auto codecPtr = config.intermediate_codec == "null"
                             ? nullptr
                             : CodecRegistry::instance().create(config.intermediate_codec);
-  if (config.shuffle_pipeline) return runJobPipelined(config, mapTasks, reduce, codecPtr.get());
-  return runJobSerial(config, mapTasks, reduce, codecPtr.get());
+
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!config.trace_path.empty() || config.collect_histograms) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+  }
+
+  JobResult result;
+  {
+    ActiveTraceGuard guard(recorder.get());
+    obs::ScopedSpan jobSpan("job", "job");
+    jobSpan.arg("map_tasks", mapTasks.size());
+    jobSpan.arg("reducers", static_cast<u64>(config.num_reducers));
+    result = config.shuffle_pipeline ? runJobPipelined(config, mapTasks, reduce, codecPtr.get())
+                                     : runJobSerial(config, mapTasks, reduce, codecPtr.get());
+  }
+
+  // Job-level resident peak is the max over reduce tasks, not the sum the
+  // per-task counters accumulated into (see counters.h).
+  u64 maxResidentPeak = 0;
+  for (const ReduceTaskStats& t : result.reduce_tasks) {
+    maxResidentPeak = std::max(maxResidentPeak, t.merge_resident_peak_bytes);
+  }
+  if (result.counters.get(counter::kReduceMergeResidentPeakBytes) > 0) {
+    result.counters.set(counter::kReduceMergeResidentPeakBytes, maxResidentPeak);
+  }
+
+  if (recorder != nullptr) {
+    const std::vector<obs::Span> spans = recorder->snapshot();
+    if (config.collect_histograms) result.telemetry = obs::telemetryFromSpans(spans);
+    result.telemetry.span_count = spans.size();
+    if (!config.trace_path.empty()) recorder->writeChromeTrace(config.trace_path);
+  }
+  result.telemetry.counters = result.counters.snapshot();
+  return result;
 }
 
 }  // namespace scishuffle::hadoop

@@ -9,6 +9,7 @@
 #include "hadoop/counters.h"
 #include "hadoop/job.h"
 #include "hadoop/spill.h"
+#include "obs/metrics.h"
 
 namespace scishuffle::hadoop {
 
@@ -60,6 +61,10 @@ struct JobResult {
   PhaseTimings timings;
   std::vector<MapTaskStats> map_tasks;
   std::vector<ReduceTaskStats> reduce_tasks;
+  /// Structured observability snapshot: always carries the counter map; with
+  /// JobConfig::collect_histograms it also carries per-stage latency/size
+  /// histograms folded from the job's spans. Serialized by jobReportJson().
+  obs::JobTelemetry telemetry;
 };
 
 /// Runs a complete MapReduce job. Thread-safe hooks required: key_less,

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace scishuffle::hadoop {
 
 namespace {
@@ -20,6 +22,13 @@ ShuffleServer::ShuffleServer(std::size_t numMaps, int numReducers) : numMaps_(nu
 
 void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
   check(segments.size() == queues_.size(), "segment count != reducer count");
+  obs::ScopedSpan span("segment_publish", "shuffle");
+  if (span.enabled()) {
+    u64 bytes = 0;
+    for (const Bytes& s : segments) bytes += s.size();
+    span.arg("map", mapIndex);
+    span.arg("bytes", bytes);
+  }
   {
     std::scoped_lock lock(mutex_);
     check(published_ < numMaps_, "more publishes than map tasks");

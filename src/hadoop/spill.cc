@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "io/streams.h"
+#include "obs/trace.h"
 
 namespace scishuffle::hadoop {
 
@@ -69,6 +70,8 @@ void MapOutputBuffer::collect(int partition, KeyValue kv) {
 
 std::vector<KeyValue> MapOutputBuffer::sortAndCombine(std::vector<KeyValue>&& records,
                                                       bool useCombiner) {
+  obs::ScopedSpan span("sort", "spill");
+  span.arg("records", records.size());
   const u64 sortStart = nowUs();
   std::stable_sort(records.begin(), records.end(), [&](const KeyValue& a, const KeyValue& b) {
     return config_->key_less(a.key, b.key);
@@ -100,6 +103,8 @@ std::vector<KeyValue> MapOutputBuffer::sortAndCombine(std::vector<KeyValue>&& re
 }
 
 void MapOutputBuffer::spill() {
+  obs::ScopedSpan span("spill", "spill");
+  span.arg("buffered_bytes", bufferedBytes_);
   const bool toDisk = !config_->spill_dir.empty();
   Spill spill;
   spill.segments.resize(buffer_.size());
@@ -132,6 +137,8 @@ Bytes MapOutputBuffer::segmentBytes(const Spill& s, std::size_t partition) const
 MapOutput MapOutputBuffer::finish() {
   spill();  // flush the tail (Hadoop always spills at least once)
 
+  obs::ScopedSpan span("spill_merge", "spill");
+  span.arg("spills", spills_.size());
   MapOutput out;
   out.segments.resize(buffer_.size());
   for (std::size_t p = 0; p < buffer_.size(); ++p) {

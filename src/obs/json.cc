@@ -1,0 +1,156 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scishuffle::obs {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty) : os_(&os), pretty_(pretty) {}
+
+void JsonWriter::newlineIndent(std::size_t depth) {
+  if (!pretty_) return;
+  raw("\n");
+  for (std::size_t i = 0; i < depth; ++i) raw("  ");
+}
+
+void JsonWriter::beforeValue() {
+  check(!rootClosed_, "JsonWriter: write after the root container closed");
+  if (stack_.empty()) return;  // root value
+  Level& level = stack_.back();
+  if (level.array) {
+    if (level.members > 0) raw(",");
+    newlineIndent(stack_.size());
+    ++level.members;
+  } else {
+    // Object members are counted (and comma-separated) at key() time; a
+    // value here must complete a pending key.
+    check(keyPending_, "JsonWriter: object member value without a key");
+    keyPending_ = false;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  check(!stack_.empty() && !stack_.back().array, "JsonWriter: key outside an object");
+  check(!keyPending_, "JsonWriter: two keys in a row");
+  Level& level = stack_.back();
+  if (level.members > 0) raw(",");
+  newlineIndent(stack_.size());
+  ++level.members;
+  raw("\"");
+  raw(jsonEscape(k));
+  raw(pretty_ ? "\": " : "\":");
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  stack_.push_back(Level{/*array=*/false});
+  raw("{");
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  check(!stack_.empty() && !stack_.back().array, "JsonWriter: endObject without beginObject");
+  check(!keyPending_, "JsonWriter: endObject with a dangling key");
+  const bool hadMembers = stack_.back().members > 0;
+  stack_.pop_back();
+  if (hadMembers) newlineIndent(stack_.size());
+  raw("}");
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  stack_.push_back(Level{/*array=*/true});
+  raw("[");
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  check(!stack_.empty() && stack_.back().array, "JsonWriter: endArray without beginArray");
+  const bool hadMembers = stack_.back().members > 0;
+  stack_.pop_back();
+  if (hadMembers) newlineIndent(stack_.size());
+  raw("]");
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  raw("\"");
+  raw(jsonEscape(v));
+  raw("\"");
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  beforeValue();
+  (*os_) << v;
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  beforeValue();
+  (*os_) << v;
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    raw("null");  // JSON has no NaN/Inf
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    raw(buf);
+  }
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  raw(v ? "true" : "false");
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::valueNull() {
+  beforeValue();
+  raw("null");
+  if (stack_.empty()) rootClosed_ = true;
+  return *this;
+}
+
+}  // namespace scishuffle::obs

@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer shared by every machine-readable artifact
+// the project emits: Chrome trace files, jobReportJson(), and the bench
+// BENCH_*.json result files. Commas, quoting, and escaping are handled by a
+// state stack so call sites read like the document they produce; misuse
+// (value without a key inside an object, close of the wrong container) trips
+// check() rather than writing invalid JSON.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/common.h"
+
+namespace scishuffle::obs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string jsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// `pretty` inserts newlines and two-space indentation.
+  explicit JsonWriter(std::ostream& os, bool pretty = true);
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Member key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& valueNull();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the root container has been closed.
+  bool done() const { return rootClosed_; }
+
+ private:
+  struct Level {
+    bool array = false;
+    std::size_t members = 0;
+  };
+
+  void beforeValue();  // comma / indent bookkeeping shared by all emitters
+  void newlineIndent(std::size_t depth);
+  void raw(std::string_view text) { (*os_) << text; }
+
+  std::ostream* os_;
+  bool pretty_;
+  bool rootClosed_ = false;
+  bool keyPending_ = false;
+  std::vector<Level> stack_;
+};
+
+}  // namespace scishuffle::obs

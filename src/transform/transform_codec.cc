@@ -2,8 +2,26 @@
 
 #include "compress/bzip2ish.h"
 #include "compress/deflate.h"
+#include "obs/trace.h"
 
 namespace scishuffle {
+
+Bytes TransformCodec::compress(ByteSpan data) const {
+  Bytes residuals;
+  {
+    obs::ScopedSpan span("stride_forward", "transform");
+    span.arg("raw_bytes", data.size());
+    residuals = transform_.forward(data);
+  }
+  return inner_->compress(residuals);
+}
+
+Bytes TransformCodec::decompress(ByteSpan data) const {
+  const Bytes residuals = inner_->decompress(data);
+  obs::ScopedSpan span("stride_inverse", "transform");
+  span.arg("raw_bytes", residuals.size());
+  return transform_.inverse(residuals);
+}
 
 void registerTransformCodecs() {
   registerBuiltinCodecs();

@@ -18,15 +18,12 @@ class TransformCodec final : public Codec {
 
   std::string name() const override { return "transform+" + inner_->name(); }
 
-  Bytes compress(ByteSpan data) const override {
-    const Bytes residuals = transform_.forward(data);
-    return inner_->compress(residuals);
-  }
-
-  Bytes decompress(ByteSpan data) const override {
-    const Bytes residuals = inner_->decompress(data);
-    return transform_.inverse(residuals);
-  }
+  /// Forward transform (stride detection) then the inner compressor; each
+  /// half is traced separately ("stride_forward" / "stride_inverse" spans in
+  /// the "transform" category) so a trace shows how much of the codec cost
+  /// is the paper's predictive transform vs generic compression.
+  Bytes compress(ByteSpan data) const override;
+  Bytes decompress(ByteSpan data) const override;
 
  private:
   std::unique_ptr<Codec> inner_;

@@ -1,14 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+
 #include "hadoop/report.h"
 #include "hadoop/runtime.h"
 #include "io/primitives.h"
 #include "io/streams.h"
+#include "testing_support.h"
 
 namespace scishuffle::hadoop {
 namespace {
 
-JobResult runTinyJob(bool withCombiner) {
+using scishuffle::testing::JsonParser;
+using scishuffle::testing::JsonValue;
+
+JobResult runTinyJob(bool withCombiner,
+                     const std::function<void(JobConfig&)>& tweak = {}) {
   JobConfig config;
   config.num_reducers = 2;
   if (withCombiner) {
@@ -16,6 +27,7 @@ JobResult runTinyJob(bool withCombiner) {
       emit(key, values.front());
     };
   }
+  if (tweak) tweak(config);
   std::vector<MapTask> tasks;
   for (int m = 0; m < 3; ++m) {
     tasks.push_back(MapTask{[m](const EmitFn& emit) {
@@ -64,6 +76,151 @@ TEST(ReportTest, PerTaskStatsArePopulated) {
   u64 shuffled = 0;
   for (const auto& t : result.reduce_tasks) shuffled += t.shuffled_bytes;
   EXPECT_EQ(shuffled, result.counters.get(counter::kReduceShuffleBytes));
+}
+
+TEST(ReportJsonTest, ParsesAndCountersMatchSnapshot) {
+  const auto result = runTinyJob(false);
+  const JsonValue doc = JsonParser::parse(jobReportJson(result));
+  EXPECT_EQ(doc.at("schema").string, "scishuffle.job_report.v1");
+
+  // Every counter in the report equals the live Counters snapshot, and the
+  // report has no extras.
+  const auto snapshot = result.counters.snapshot();
+  const auto& counters = doc.at("counters").object;
+  ASSERT_EQ(counters.size(), snapshot.size());
+  for (const auto& [name, value] : snapshot) {
+    ASSERT_TRUE(doc.at("counters").has(name)) << name;
+    EXPECT_EQ(counters.at(name).asU64(), value) << name;
+  }
+
+  ASSERT_EQ(doc.at("map_tasks").array.size(), 3u);
+  for (const JsonValue& t : doc.at("map_tasks").array) {
+    EXPECT_EQ(t.at("segment_bytes").array.size(), 2u);
+  }
+  ASSERT_EQ(doc.at("reduce_tasks").array.size(), 2u);
+  EXPECT_TRUE(doc.at("telemetry").has("counters"));
+}
+
+TEST(ReportJsonTest, LegacyTimingFieldsHaveNoOverlap) {
+  const auto result = runTinyJob(false, [](JobConfig& c) { c.shuffle_pipeline = false; });
+  const JsonValue doc = JsonParser::parse(jobReportJson(result));
+  const JsonValue& timings = doc.at("timings");
+  // The serial path times shuffle as its own phase and never overlaps it
+  // with the map phase.
+  EXPECT_TRUE(timings.has("map_phase_us"));
+  EXPECT_GT(timings.at("shuffle_us").asU64(), 0u);
+  EXPECT_TRUE(timings.has("reduce_phase_us"));
+  EXPECT_EQ(timings.at("shuffle_overlap_us").asU64(), 0u);
+}
+
+TEST(ReportJsonTest, PipelinedTimingReportsOverlap) {
+  const auto result = runTinyJob(false, [](JobConfig& c) { c.shuffle_pipeline = true; });
+  const JsonValue doc = JsonParser::parse(jobReportJson(result));
+  const JsonValue& timings = doc.at("timings");
+  // Pipelined, shuffle_us spans firstPublish..lastFetch and the overlap
+  // field records how much of that ran concurrently with the map phase.
+  EXPECT_GT(timings.at("shuffle_us").asU64(), 0u);
+  EXPECT_TRUE(timings.has("shuffle_overlap_us"));
+  EXPECT_LE(timings.at("shuffle_overlap_us").asU64(),
+            timings.at("map_phase_us").asU64() + timings.at("shuffle_us").asU64());
+}
+
+TEST(ReportJsonTest, HistogramsAppearWhenCollected) {
+  const auto result = runTinyJob(false, [](JobConfig& c) { c.collect_histograms = true; });
+  ASSERT_GT(result.telemetry.span_count, 0u);
+
+  // Three map tasks -> the map_task duration histogram has three samples.
+  const auto* mapTasks = result.telemetry.findHistogram("map_task_us");
+  ASSERT_NE(mapTasks, nullptr);
+  EXPECT_EQ(mapTasks->count, 3u);
+  const auto* reduceTasks = result.telemetry.findHistogram("reduce_task_us");
+  ASSERT_NE(reduceTasks, nullptr);
+  EXPECT_EQ(reduceTasks->count, 2u);
+
+  // The text report grows its histogram section...
+  const std::string report = jobReport(result);
+  EXPECT_NE(report.find("histograms ("), std::string::npos);
+  EXPECT_NE(report.find("map_task_us"), std::string::npos);
+  // ...and the JSON report carries the same data under telemetry.
+  const JsonValue doc = JsonParser::parse(jobReportJson(result));
+  EXPECT_GT(doc.at("telemetry").at("histograms").array.size(), 0u);
+  EXPECT_EQ(doc.at("telemetry").at("span_count").asU64(), result.telemetry.span_count);
+}
+
+TEST(ReportJsonTest, HistogramsAbsentByDefault) {
+  const auto result = runTinyJob(false);
+  EXPECT_TRUE(result.telemetry.histograms.empty());
+  EXPECT_EQ(jobReport(result).find("histograms ("), std::string::npos);
+  // The counter map still rides along even without histograms.
+  EXPECT_EQ(result.telemetry.counters.at(counter::kMapOutputRecords), 30u);
+}
+
+TEST(ReportTraceTest, TraceFileCoversEveryStageCategory) {
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "report_test_trace.json";
+  std::filesystem::remove(path);
+  runTinyJob(false, [&path](JobConfig& c) {
+    c.trace_path = path;
+    c.shuffle_pipeline = true;
+    c.intermediate_codec = "gzipish";  // ensures real codec work -> codec spans
+  });
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonParser::parse(buffer.str());
+  std::set<std::string> categories;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    categories.insert(e.at("cat").string);
+  }
+  for (const char* cat : {"job", "map", "spill", "codec", "shuffle", "merge", "reduce"}) {
+    EXPECT_TRUE(categories.count(cat)) << "missing category: " << cat;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ReportTest, ResidentPeakCounterIsMaxOverReduceTasksNotSum) {
+  const auto result = runTinyJob(false, [](JobConfig& c) { c.shuffle_pipeline = true; });
+  u64 maxPeak = 0;
+  u64 sumPeak = 0;
+  for (const auto& t : result.reduce_tasks) {
+    maxPeak = std::max(maxPeak, t.merge_resident_peak_bytes);
+    sumPeak += t.merge_resident_peak_bytes;
+  }
+  ASSERT_GT(maxPeak, 0u);
+  // The job-level counter answers "how much decoded data does ONE reducer
+  // hold at peak" — summing across reducers overstated it.
+  EXPECT_EQ(result.counters.get(counter::kReduceMergeResidentPeakBytes), maxPeak);
+  if (result.reduce_tasks.size() > 1 && sumPeak > maxPeak) {
+    EXPECT_LT(result.counters.get(counter::kReduceMergeResidentPeakBytes), sumPeak);
+  }
+}
+
+TEST(ReportTest, AggregationCountersAppearInReport) {
+  JobResult result = runTinyJob(false);
+  result.counters.add(counter::kAggregateFlushes, 4);
+  result.counters.add(counter::kKeySplitsRouting, 2);
+  result.counters.add(counter::kKeySplitsOverlap, 1);
+  const std::string report = jobReport(result);
+  EXPECT_NE(report.find("aggregation: 4 aggregate flushes"), std::string::npos) << report;
+  EXPECT_NE(report.find("routing 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("overlap 1"), std::string::npos) << report;
+}
+
+TEST(ReportTest, AggregationLineAbsentWhenCountersZero) {
+  const auto result = runTinyJob(false);
+  EXPECT_EQ(jobReport(result).find("aggregation:"), std::string::npos);
+}
+
+TEST(CountersTest, SetOverwritesAccumulatedValue) {
+  Counters counters;
+  counters.add("X", 10);
+  counters.add("X", 5);
+  counters.set("X", 7);
+  EXPECT_EQ(counters.get("X"), 7u);
+  counters.set("FRESH", 3);
+  EXPECT_EQ(counters.get("FRESH"), 3u);
 }
 
 }  // namespace
