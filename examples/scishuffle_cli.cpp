@@ -17,7 +17,14 @@
 //   scishuffle_cli codec <name> <in> <out.z>                compress a file
 //   scishuffle_cli decodec <name> <in.z> <out>              decompress a file
 //   scishuffle_cli inspect <file>                           stride detection report
+//   scishuffle_cli faultdemo [--out report.json]            faulted run + recovery
 //   scishuffle_cli selftest                                 end-to-end smoke test
+//
+// faultdemo runs the canonical fault-injection scenario from docs/FAULTS.md:
+// a word-count job with one corrupted segment and one dropped fetch, healed
+// by the shuffle retry layer. It exits non-zero unless the output matches a
+// fault-free baseline AND the recovery counters are non-zero; --out writes
+// the faulted run's JSON report (CI uploads it as an artifact).
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -29,8 +36,10 @@
 #include "hadoop/runtime.h"
 #include "hadoop/sequence_file.h"
 #include "io/streams.h"
+#include "io/primitives.h"
 #include "scikey/slab_query.h"
 #include "scikey/sliding_query.h"
+#include "testing/fault_injector.h"
 #include "transform/stride_model.h"
 #include "transform/transform_codec.h"
 
@@ -39,7 +48,8 @@ using namespace scishuffle;
 namespace {
 
 int usage() {
-  std::cerr << "usage: scishuffle_cli <gen|info|query|codec|decodec|inspect|selftest> ...\n"
+  std::cerr << "usage: scishuffle_cli <gen|info|query|codec|decodec|inspect|faultdemo|selftest>"
+               " ...\n"
                "see the header of examples/scishuffle_cli.cpp for details\n";
   return 2;
 }
@@ -245,6 +255,88 @@ int cmdInspect(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmdFaultDemo(const std::vector<std::string>& args) {
+  std::filesystem::path outPath;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      outPath = args[++i];
+    } else {
+      std::cerr << "unknown flag " << args[i] << "\n";
+      return usage();
+    }
+  }
+
+  // The canonical word-count job, run twice: clean serial baseline, then
+  // pipelined under a fault plan that corrupts one shuffled segment and
+  // drops one fetch (docs/FAULTS.md).
+  const std::vector<std::string> vocab = {"the", "windspeed", "grid", "key",
+                                          "map", "reduce",    "sci", "curve"};
+  std::vector<hadoop::MapTask> tasks;
+  for (int m = 0; m < 4; ++m) {
+    tasks.push_back(hadoop::MapTask{[m, &vocab](const hadoop::EmitFn& emit) {
+      for (int i = 0; i < 500; ++i) {
+        const std::string& word = vocab[static_cast<std::size_t>((i * 7 + m) % 8)];
+        Bytes value;
+        MemorySink sink(value);
+        writeI64(sink, 1);
+        emit(Bytes(word.begin(), word.end()), std::move(value));
+      }
+    }});
+  }
+  const hadoop::ReduceFn reduce = [](const Bytes& key, std::vector<Bytes>& values,
+                                     const hadoop::EmitFn& emit) {
+    i64 sum = 0;
+    for (const auto& v : values) {
+      MemorySource src(v);
+      sum += readI64(src);
+    }
+    Bytes out;
+    MemorySink sink(out);
+    writeI64(sink, sum);
+    emit(key, std::move(out));
+  };
+
+  hadoop::JobConfig clean;
+  clean.num_reducers = 3;
+  clean.intermediate_codec = "gzipish";
+  clean.shuffle_pipeline = false;
+  const auto baseline = hadoop::runJob(clean, tasks, reduce);
+
+  testing::FaultPlan plan;
+  plan.seed = 20260806;
+  plan.rules.push_back({testing::site::kShuffleFetch, testing::FaultKind::kCorruptBytes});
+  plan.rules.push_back({testing::site::kShuffleFetch, testing::FaultKind::kThrowIo});
+  testing::FaultInjector faults(plan);
+
+  hadoop::JobConfig faulted = clean;
+  faulted.shuffle_pipeline = true;
+  faulted.fault_injector = &faults;
+  faulted.shuffle_retry.enabled = true;
+  faulted.collect_histograms = true;
+  const auto result = hadoop::runJob(faulted, tasks, reduce);
+
+  const u64 fetchRetries = result.counters.get(hadoop::counter::kShuffleFetchRetries);
+  const u64 corruptBlocks = result.counters.get(hadoop::counter::kBlocksCorruptDetected);
+  const u64 refetched = result.counters.get(hadoop::counter::kSegmentsRefetched);
+  std::cout << "recovery: " << fetchRetries << " fetch retries, " << corruptBlocks
+            << " corrupt blocks detected, " << refetched << " segments re-fetched\n";
+
+  if (!outPath.empty()) {
+    FileSink sink(outPath);
+    const std::string json = hadoop::jobReportJson(result);
+    sink.write(ByteSpan(reinterpret_cast<const u8*>(json.data()), json.size()));
+    std::cout << "wrote JSON report to " << outPath << "\n";
+  }
+
+  check(result.outputs == baseline.outputs,
+        "faulted run diverged from the fault-free baseline");
+  check(fetchRetries >= 1, "expected at least one shuffle fetch retry");
+  check(corruptBlocks >= 1, "expected at least one corrupt block detection");
+  check(refetched >= 1, "expected at least one segment re-fetch");
+  std::cout << "faultdemo OK: output bit-identical to the fault-free baseline\n";
+  return 0;
+}
+
 int cmdSelftest() {
   const auto dir = std::filesystem::temp_directory_path() / "scishuffle_cli_selftest";
   std::filesystem::create_directories(dir);
@@ -278,6 +370,7 @@ int cmdSelftest() {
     check(a.readAll() == b.readAll(), "codec round trip through files failed");
   }
   if (rc == 0) rc = cmdInspect({nc});
+  if (rc == 0) rc = cmdFaultDemo({});
   if (rc == 0) {
     // The SequenceFile we wrote must parse.
     FileSource s(seq);
@@ -307,6 +400,7 @@ int main(int argc, char** argv) {
     if (cmd == "codec") return cmdCodec(args, false);
     if (cmd == "decodec") return cmdCodec(args, true);
     if (cmd == "inspect") return cmdInspect(args);
+    if (cmd == "faultdemo") return cmdFaultDemo(args);
     if (cmd == "selftest") return cmdSelftest();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

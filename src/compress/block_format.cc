@@ -7,6 +7,7 @@
 #include "io/primitives.h"
 #include "io/varint.h"
 #include "obs/trace.h"
+#include "testing/fault_injector.h"
 
 namespace scishuffle {
 
@@ -88,13 +89,17 @@ Bytes BlockCompressedWriter::close() {
   for (auto& f : inFlight_) emit(f.get());  // in seal order: deterministic bytes
   for (const Sealed& s : sealed_) emit(s);
   writeVLong(sink, -1);
+  // v2 trailer: total block count, so a forged end marker (one flipped bit in
+  // a rawLen vlong) cannot silently truncate the stream.
+  writeVLong(sink, static_cast<i64>(blocks_));
   return out;
 }
 
 // ---------------------------------------------------------------- reader
 
-BlockCompressedReader::BlockCompressedReader(ByteSpan stream, const Codec* codec)
-    : stream_(stream), codec_(codec) {
+BlockCompressedReader::BlockCompressedReader(ByteSpan stream, const Codec* codec,
+                                             testing::FaultInjector* faults)
+    : stream_(stream), codec_(codec), faults_(faults) {
   checkFormat(stream_.size() >= sizeof(kBlockFrameMagic) + 1, "block frame stream too short");
   for (std::size_t i = 0; i < sizeof(kBlockFrameMagic); ++i) {
     checkFormat(stream_[i] == kBlockFrameMagic[i], "bad block frame magic");
@@ -115,8 +120,21 @@ std::optional<BlockCompressedReader::Frame> BlockCompressedReader::nextFrame() {
     frameError(blocks_, offset, "truncated frame header (missing end marker?)");
   }
   if (rawLen < 0) {
-    done_ = true;
     pos_ += source.position();
+    // v2 trailer: block count after the end marker, then exact end of stream.
+    MemorySource trailerSource(stream_.subspan(pos_));
+    i64 count = 0;
+    try {
+      count = readVLong(trailerSource);
+    } catch (const FormatError&) {
+      frameError(blocks_, pos_, "truncated stream trailer");
+    }
+    pos_ += trailerSource.position();
+    if (count < 0 || static_cast<u64>(count) != blocks_) {
+      frameError(blocks_, pos_, "block count mismatch in stream trailer");
+    }
+    if (pos_ != stream_.size()) frameError(blocks_, pos_, "trailing bytes after stream trailer");
+    done_ = true;
     return std::nullopt;
   }
   Frame frame;
@@ -145,16 +163,28 @@ Bytes BlockCompressedReader::decodeFrame(const Frame& frame) const {
   obs::ScopedSpan span("block_decode", "codec");
   span.arg("raw_bytes", frame.rawLen);
   span.arg("compressed_bytes", frame.payload.size());
+  ByteSpan payload = frame.payload;
+  Bytes mutated;
+  if (faults_ != nullptr) {
+    faults_->hit(testing::site::kBlockDecode);
+    mutated.assign(frame.payload.begin(), frame.payload.end());
+    faults_->mutate(testing::site::kBlockDecode, mutated);
+    payload = mutated;
+  }
   Bytes raw;
   const u64 start = nowUs();
   if (codec_ != nullptr) {
     try {
-      raw = codec_->decompress(frame.payload);
+      raw = codec_->decompress(payload);
     } catch (const FormatError&) {
+      frameError(frame.index, frame.offset, "codec failed to decompress block");
+    } catch (const std::length_error&) {
+      // Corrupt input can drive a codec's output-size header absurd; surface
+      // it as the same frame-level format error, not a crash.
       frameError(frame.index, frame.offset, "codec failed to decompress block");
     }
   } else {
-    raw.assign(frame.payload.begin(), frame.payload.end());
+    raw.assign(payload.begin(), payload.end());
   }
   cpuUs_.fetch_add(nowUs() - start, std::memory_order_relaxed);
   if (raw.size() != frame.rawLen) frameError(frame.index, frame.offset, "raw length mismatch");
@@ -170,8 +200,9 @@ std::optional<Bytes> BlockCompressedReader::nextBlock() {
 
 // ---------------------------------------------------------------- source
 
-BlockDecodeSource::BlockDecodeSource(ByteSpan stream, const Codec* codec, ThreadPool* prefetchPool)
-    : reader_(stream, codec), pool_(prefetchPool) {}
+BlockDecodeSource::BlockDecodeSource(ByteSpan stream, const Codec* codec, ThreadPool* prefetchPool,
+                                     testing::FaultInjector* faults)
+    : reader_(stream, codec, faults), pool_(prefetchPool) {}
 
 BlockDecodeSource::~BlockDecodeSource() {
   // A decode-ahead task captures `this`; never let it outlive us.
@@ -209,7 +240,7 @@ bool BlockDecodeSource::advance() {
   return true;
 }
 
-std::size_t BlockDecodeSource::read(MutableByteSpan out) {
+std::size_t BlockDecodeSource::readSome(MutableByteSpan out) {
   std::size_t total = 0;
   while (total < out.size()) {
     if (pos_ == current_.size()) {

@@ -1,7 +1,7 @@
 // Block-framed codec container: wraps any registered Codec into a
 // self-describing stream of independently decompressible blocks,
 //
-//     stream := "SBF1" u8(version=1) block* vlong(-1)
+//     stream := "SBF1" u8(version=2) block* vlong(-1) vlong(blockCount)
 //     block  := vlong(rawLen) vlong(compLen) u32(crc32(raw)) payload[compLen]
 //
 // (see docs/FORMATS.md). Because every block carries its own lengths and
@@ -10,7 +10,10 @@
 // the same reason real Hadoop deployments lean on splittable block codecs
 // like LZO instead of whole-stream gzip. A corrupt block raises FormatError
 // naming the block index and stream offset instead of garbling the rest of
-// the stream.
+// the stream. The v2 trailer (block count after the end marker, then exact
+// end of stream) exists so a bit flip that forges the end marker — a rawLen
+// byte flipped to 0xFF reads as vlong(-1) — is detected instead of silently
+// truncating the stream.
 #pragma once
 
 #include <atomic>
@@ -24,8 +27,12 @@
 
 namespace scishuffle {
 
+namespace testing {
+class FaultInjector;
+}
+
 inline constexpr u8 kBlockFrameMagic[4] = {'S', 'B', 'F', '1'};
-inline constexpr u8 kBlockFrameVersion = 1;
+inline constexpr u8 kBlockFrameVersion = 2;
 inline constexpr std::size_t kBlockFrameDefaultBlockBytes = 256u << 10;
 
 /// Streams raw bytes into a block-framed container. A block is sealed every
@@ -78,7 +85,10 @@ class BlockCompressedWriter {
 class BlockCompressedReader {
  public:
   /// Validates magic + version eagerly; throws FormatError on mismatch.
-  BlockCompressedReader(ByteSpan stream, const Codec* codec);
+  /// `faults` (optional, test-only) injects block.decode faults before each
+  /// frame decode.
+  BlockCompressedReader(ByteSpan stream, const Codec* codec,
+                        testing::FaultInjector* faults = nullptr);
 
   /// Decodes the next block, or nullopt after the end marker. Throws
   /// FormatError (with block index and offset) on truncation, a corrupt
@@ -109,6 +119,7 @@ class BlockCompressedReader {
  private:
   ByteSpan stream_;
   const Codec* codec_;
+  testing::FaultInjector* faults_;
   std::size_t pos_ = 0;
   std::size_t blocks_ = 0;
   bool done_ = false;
@@ -121,16 +132,18 @@ class BlockCompressedReader {
 class BlockDecodeSource final : public ByteSource {
  public:
   explicit BlockDecodeSource(ByteSpan stream, const Codec* codec,
-                             ThreadPool* prefetchPool = nullptr);
+                             ThreadPool* prefetchPool = nullptr,
+                             testing::FaultInjector* faults = nullptr);
   ~BlockDecodeSource() override;
-
-  std::size_t read(MutableByteSpan out) override;
 
   u64 decompressCpuUs() const { return reader_.decompressCpuUs(); }
 
   /// High-water mark of decoded bytes held at once (current block plus any
   /// decode-ahead block in flight).
   u64 residentPeakBytes() const { return residentPeak_; }
+
+ protected:
+  std::size_t readSome(MutableByteSpan out) override;
 
  private:
   bool advance();          // loads the next block into current_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "testing/fault_injector.h"
+
 namespace scishuffle::dfs {
 
 MiniDfs::MiniDfs(DfsConfig config) : config_(config) {
@@ -15,6 +17,8 @@ MiniDfs::MiniDfs(DfsConfig config) : config_(config) {
 
 void MiniDfs::writeFile(const std::string& path, ByteSpan data, int writerNode) {
   check(writerNode >= 0 && writerNode < config_.nodes, "writer node out of range");
+  // Before any state changes, so a thrown IoError is cleanly retryable.
+  if (faults_ != nullptr) faults_->hit(testing::site::kDfsWrite);
   if (files_.find(path) != files_.end()) {
     throw std::logic_error("file already exists: " + path);
   }
@@ -51,12 +55,14 @@ const MiniDfs::File& MiniDfs::fileOrThrow(const std::string& path) const {
 }
 
 Bytes MiniDfs::readFile(const std::string& path) const {
+  if (faults_ != nullptr) faults_->hit(testing::site::kDfsRead);
   const File& file = fileOrThrow(path);
   Bytes out;
   out.reserve(file.size);
   for (const auto& block : file.blocks) {
     out.insert(out.end(), block.data.begin(), block.data.end());
   }
+  if (faults_ != nullptr) faults_->mutate(testing::site::kDfsRead, out);
   return out;
 }
 
@@ -73,6 +79,12 @@ Bytes MiniDfs::readBlock(const std::string& path, std::size_t blockIndex, int re
     }
   }
   if (chosenNode != nullptr) *chosenNode = node;
+  if (faults_ != nullptr) {
+    faults_->hit(testing::site::kDfsRead);
+    Bytes copy = block.data;
+    faults_->mutate(testing::site::kDfsRead, copy);
+    return copy;
+  }
   return block.data;
 }
 

@@ -17,6 +17,10 @@
 
 #include "io/common.h"
 
+namespace scishuffle::testing {
+class FaultInjector;
+}
+
 namespace scishuffle::dfs {
 
 struct DfsConfig {
@@ -62,6 +66,12 @@ class MiniDfs {
 
   const DfsConfig& config() const { return config_; }
 
+  /// Test-only deterministic fault injection on dfs.read / dfs.write (see
+  /// docs/FAULTS.md); reads hand out mutated copies, stored blocks stay
+  /// pristine (a bad read from one replica, not on-disk rot). Not owned;
+  /// nullptr disables injection.
+  void setFaultInjector(testing::FaultInjector* faults) { faults_ = faults; }
+
  private:
   struct StoredBlock {
     Bytes data;
@@ -76,6 +86,7 @@ class MiniDfs {
 
   DfsConfig config_;
   std::map<std::string, File> files_;
+  testing::FaultInjector* faults_ = nullptr;
   int nextPlacement_ = 0;  // rotates non-writer replicas across nodes
 };
 

@@ -35,6 +35,10 @@ inline constexpr const char* kReduceMergeResidentPeakBytes = "REDUCE_MERGE_RESID
 inline constexpr const char* kReduceInputRecords = "REDUCE_INPUT_RECORDS";
 inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
 inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
+// Recovery path (fault injection + shuffle retry; see docs/FAULTS.md).
+inline constexpr const char* kShuffleFetchRetries = "SHUFFLE_FETCH_RETRIES";
+inline constexpr const char* kBlocksCorruptDetected = "BLOCKS_CORRUPT_DETECTED";
+inline constexpr const char* kSegmentsRefetched = "SEGMENTS_REFETCHED";
 inline constexpr const char* kKeySplitsRouting = "KEY_SPLITS_ROUTING";
 inline constexpr const char* kKeySplitsOverlap = "KEY_SPLITS_OVERLAP";
 inline constexpr const char* kAggregateFlushes = "AGGREGATE_FLUSHES";

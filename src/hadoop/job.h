@@ -5,7 +5,12 @@
 #include <memory>
 #include <string>
 
+#include "hadoop/retry.h"
 #include "hadoop/types.h"
+
+namespace scishuffle::testing {
+class FaultInjector;
+}
 
 namespace scishuffle::hadoop {
 
@@ -73,6 +78,24 @@ struct JobConfig {
   /// stated reason for wanting HPC codes on Hadoop at all). Each retry
   /// re-executes the task from scratch with fresh output state.
   int max_task_attempts = 1;
+
+  /// Retry/backoff for the shuffle data path: segment fetch, segment
+  /// verification, and publish. When enabled, a dropped fetch (IoError) or a
+  /// corrupt segment (FormatError / CRC mismatch) is re-attempted with
+  /// exponential backoff before the job fails; enabling it also makes the
+  /// ShuffleServer retain pristine copies of published segments so a corrupt
+  /// fetch can be re-fetched (Hadoop's reducer re-fetch of map output).
+  RetryPolicy shuffle_retry;
+
+  /// Decode-scan every fetched segment before handing it to the merge, so
+  /// in-transit corruption is caught (and, with shuffle_retry.enabled,
+  /// healed by a re-fetch) at fetch time instead of mid-reduce. Implied by
+  /// shuffle_retry.enabled; costs one extra decode pass per segment.
+  bool verify_fetched_segments = false;
+
+  /// Deterministic fault injection for tests (see docs/FAULTS.md); not owned.
+  /// nullptr = no faults.
+  testing::FaultInjector* fault_injector = nullptr;
 
   /// Key order for sort/merge. Default: lexicographic on serialized bytes.
   KeyLessFn key_less = lexicographicLess;

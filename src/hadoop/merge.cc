@@ -33,7 +33,8 @@ MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Code
     segments_ = std::move(segments);
     for (Bytes& segment : segments_) {
       Head head;
-      head.source = std::make_unique<BlockDecodeSource>(segment, codec, codecPool_);
+      head.source = std::make_unique<BlockDecodeSource>(segment, codec, codecPool_,
+                                                        config_->fault_injector);
       head.records = std::make_unique<IFileStreamReader>(*head.source);
       if (auto kv = head.advance()) {
         head.kv = std::move(*kv);
@@ -82,7 +83,8 @@ void MergedSegmentStream::reduceSegmentCount(std::vector<Bytes>& segments, const
     u64 decompressUs = 0;
     for (std::size_t i = 0; i < take; ++i) {
       PassHead head;
-      head.source = std::make_unique<BlockDecodeSource>(segments[i], codec, codecPool_);
+      head.source = std::make_unique<BlockDecodeSource>(segments[i], codec, codecPool_,
+                                                        config_->fault_injector);
       head.records = std::make_unique<IFileStreamReader>(*head.source);
       if (auto kv = head.records->next()) {
         head.kv = std::move(*kv);

@@ -65,6 +65,15 @@ std::string jobReport(const JobResult& result) {
   }
   os << "reduce: " << result.counters.get(c::kReduceInputGroups) << " groups, "
      << result.counters.get(c::kReduceOutputRecords) << " output records\n";
+  // Recovery counters: present whenever the retry layer did any work, so a
+  // run that survived faults says so (see docs/FAULTS.md).
+  if (result.counters.get(c::kShuffleFetchRetries) > 0 ||
+      result.counters.get(c::kBlocksCorruptDetected) > 0 ||
+      result.counters.get(c::kSegmentsRefetched) > 0) {
+    os << "recovery: " << result.counters.get(c::kShuffleFetchRetries) << " fetch retries, "
+       << result.counters.get(c::kBlocksCorruptDetected) << " corrupt blocks detected, "
+       << result.counters.get(c::kSegmentsRefetched) << " segments re-fetched\n";
+  }
   // Aggregation-path counters (§IV): present whenever aggregate keys flowed
   // through the job, so those runs are self-describing.
   if (result.counters.get(c::kKeySplitsOverlap) > 0 ||

@@ -1,0 +1,47 @@
+#include "hadoop/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace scishuffle::hadoop {
+
+std::string FailureReport::toString() const {
+  return "operation failed at site '" + site + "' after " + std::to_string(attempts) +
+         (attempts == 1 ? " attempt" : " attempts") + ": " + last_error;
+}
+
+namespace {
+// splitmix64: tiny, stateless-step PRNG — enough for jitter, no <random>
+// engine state to drag around.
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Backoff::Backoff(const RetryPolicy& policy, const std::string& site)
+    : policy_(&policy), state_(policy.seed ^ std::hash<std::string>{}(site)) {}
+
+u64 Backoff::delayUs(int attempt) {
+  if (attempt <= 1) return 0;
+  // base * 2^(attempt-2), capped; then jittered into [b*(1-jitter), b].
+  u64 backoff = policy_->base_backoff_us;
+  for (int i = 2; i < attempt && backoff < policy_->max_backoff_us; ++i) backoff *= 2;
+  backoff = std::min(backoff, policy_->max_backoff_us);
+  const double jitter = std::clamp(policy_->jitter, 0.0, 1.0);
+  if (jitter > 0.0 && backoff > 0) {
+    const double unit = static_cast<double>(splitmix64(state_) >> 11) * 0x1.0p-53;  // [0,1)
+    backoff = static_cast<u64>(static_cast<double>(backoff) * (1.0 - jitter * unit));
+  }
+  return backoff;
+}
+
+void Backoff::wait(int attempt) {
+  const u64 us = delayUs(attempt);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace scishuffle::hadoop

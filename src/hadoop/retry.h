@@ -1,0 +1,102 @@
+// Bounded retry with deterministic backoff for the shuffle data path.
+//
+// Real Hadoop's reducer re-fetches a map output when the transfer drops or
+// the checksum fails, backing off between attempts; only after
+// `mapreduce.reduce.shuffle.maxfetchfailures`-style exhaustion does the job
+// fail. This header gives the runtime the same discipline: retryWithPolicy()
+// re-runs an operation on IoError/FormatError (the transient + corrupt-data
+// set), sleeping an exponentially growing, deterministically jittered backoff
+// between attempts, and throws RetryExhaustedError — carrying a structured
+// FailureReport naming the site — once attempts run out. Jitter derives from
+// the policy seed and the site name, so a failing run replays exactly.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "io/common.h"
+
+namespace scishuffle::hadoop {
+
+struct RetryPolicy {
+  /// Off by default: a single attempt, failures still wrapped in a
+  /// structured RetryExhaustedError naming the site.
+  bool enabled = false;
+  /// Total attempts including the first (>= 1).
+  int max_attempts = 4;
+  u64 base_backoff_us = 200;
+  u64 max_backoff_us = 50'000;
+  /// Fraction of the backoff randomized: sleep in [b*(1-jitter), b].
+  double jitter = 0.5;
+  /// Seed for the jitter PRNG (combined with the site name per Backoff).
+  u64 seed = 1;
+
+  int attempts() const { return enabled ? (max_attempts > 0 ? max_attempts : 1) : 1; }
+};
+
+/// What failed, where, and after how many tries — attached to
+/// RetryExhaustedError and rendered into the job's error report.
+struct FailureReport {
+  std::string site;
+  int attempts = 0;
+  std::string last_error;
+
+  std::string toString() const;
+};
+
+class RetryExhaustedError : public std::runtime_error {
+ public:
+  explicit RetryExhaustedError(FailureReport report)
+      : std::runtime_error(report.toString()), report_(std::move(report)) {}
+
+  const FailureReport& report() const { return report_; }
+
+ private:
+  FailureReport report_;
+};
+
+/// Per-site backoff sequence: exponential growth, deterministic jitter.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, const std::string& site);
+
+  /// Backoff before attempt `attempt` (1-based; attempt 1 never waits).
+  u64 delayUs(int attempt);
+
+  /// delayUs + actually sleep.
+  void wait(int attempt);
+
+ private:
+  const RetryPolicy* policy_;
+  u64 state_;  // splitmix64 walk seeded from policy.seed ^ hash(site)
+};
+
+/// Runs `op`, retrying on IoError/FormatError per `policy`. `onRetry(attempt,
+/// error)` fires before each re-attempt (attempt = the 1-based attempt that
+/// failed) — hook counters and spans there. Exhaustion throws
+/// RetryExhaustedError naming `site`; other exception types pass through
+/// untouched on the first occurrence.
+template <typename Op>
+auto retryWithPolicy(const RetryPolicy& policy, const std::string& site, Op&& op,
+                     const std::function<void(int, const std::string&)>& onRetry = nullptr)
+    -> decltype(op()) {
+  Backoff backoff(policy, site);
+  const int attempts = policy.attempts();
+  std::string lastError;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return op();
+    } catch (const IoError& e) {
+      lastError = e.what();
+    } catch (const FormatError& e) {
+      lastError = e.what();
+    }
+    if (attempt >= attempts) {
+      throw RetryExhaustedError(FailureReport{site, attempts, lastError});
+    }
+    if (onRetry) onRetry(attempt, lastError);
+    backoff.wait(attempt + 1);
+  }
+}
+
+}  // namespace scishuffle::hadoop

@@ -6,11 +6,14 @@
 #include <mutex>
 #include <thread>
 
+#include "compress/block_format.h"
 #include "compress/codec.h"
 #include "hadoop/merge.h"
+#include "hadoop/retry.h"
 #include "hadoop/shuffle.h"
 #include "io/thread_pool.h"
 #include "obs/trace.h"
+#include "testing/fault_injector.h"
 #include "transform/transform_codec.h"
 
 namespace scishuffle::hadoop {
@@ -37,10 +40,55 @@ struct ErrorSlot {
     std::scoped_lock lock(mutex);
     if (!first) first = std::current_exception();
   }
+  void record(std::exception_ptr e) {
+    std::scoped_lock lock(mutex);
+    if (!first) first = std::move(e);
+  }
   void rethrowIfSet() {
     if (first) std::rethrow_exception(first);
   }
 };
+
+/// Full decode scan of a block-framed segment; false on any frame/CRC error.
+bool segmentIntact(const Bytes& segment, const Codec* codec) {
+  try {
+    BlockCompressedReader reader(segment, codec);
+    while (reader.nextBlock()) {
+    }
+    return true;
+  } catch (const FormatError&) {
+    return false;
+  }
+}
+
+/// Decode-scans a fetched segment; a corrupt one is re-fetched from the
+/// server's retained pristine copy, bounded by the retry policy — the
+/// in-memory version of Hadoop's reducer re-fetching a bad map output copy.
+/// Throws RetryExhaustedError (site "segment.integrity") when recovery fails.
+void verifyAndRecoverSegment(const JobConfig& config, ShuffleServer& server, const Codec* codec,
+                             ShuffleServer::Fetched& fetched, int reducer, Counters& counters) {
+  {
+    obs::ScopedSpan span("segment_verify", "shuffle");
+    span.arg("map", fetched.map_index);
+    span.arg("bytes", fetched.segment.size());
+    if (segmentIntact(fetched.segment, codec)) return;
+  }
+  counters.add(counter::kBlocksCorruptDetected, 1);
+  obs::ScopedSpan span("segment_refetch", "shuffle");
+  span.arg("map", fetched.map_index);
+  span.arg("reducer", static_cast<u64>(reducer));
+  fetched.segment = retryWithPolicy(config.shuffle_retry, "segment.integrity", [&]() -> Bytes {
+    if (!server.retainsSegments()) {
+      throw FormatError("segment from map " + std::to_string(fetched.map_index) +
+                        " is corrupt and no retained copy exists to re-fetch (enable "
+                        "shuffle_retry to retain segments)");
+    }
+    counters.add(counter::kSegmentsRefetched, 1);
+    Bytes fresh = server.refetch(fetched.map_index, reducer);
+    checkFormat(segmentIntact(fresh, codec), "re-fetched segment is still corrupt");
+    return fresh;
+  });
+}
 
 /// Runs one map task (with retries) and returns its materialized output, or
 /// nullopt after the last attempt failed (the error is recorded). Fault
@@ -95,6 +143,11 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
                               const ReduceFn& reduce, const std::vector<Bytes>& segments,
                               JobResult& result, std::mutex& outputsMutex, int r,
                               ErrorSlot& errors) {
+  // Corrupt-data (FormatError) failures get the shuffle retry budget when it
+  // is larger: a transient corrupt block deserves the same bounded-backoff
+  // discipline as a dropped fetch, not just task-level maxattempts.
+  Backoff decodeBackoff(config.shuffle_retry, testing::site::kBlockDecode);
+  const int formatAttempts = std::max(config.max_task_attempts, config.shuffle_retry.attempts());
   for (int attempt = 1;; ++attempt) {
     try {
       obs::ScopedSpan span("reduce_task", "reduce");
@@ -125,6 +178,17 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
       }
       result.counters.merge(taskCounters);
       return;
+    } catch (const FormatError& e) {
+      // Corrupt intermediate data surfaced mid-merge (a frame/CRC failure
+      // fetch-time verification did not catch). Re-execute the reduce task;
+      // exhaustion yields a structured error naming the decode site.
+      result.counters.add(counter::kBlocksCorruptDetected, 1);
+      if (attempt >= formatAttempts) {
+        errors.record(std::make_exception_ptr(RetryExhaustedError(
+            FailureReport{testing::site::kBlockDecode, attempt, e.what()})));
+        return;
+      }
+      decodeBackoff.wait(attempt + 1);
     } catch (...) {
       if (attempt >= config.max_task_attempts) {
         errors.record();
@@ -218,7 +282,11 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   ErrorSlot errors;
 
   ThreadPool codecPool(codecPoolThreads(config));
-  ShuffleServer server(mapTasks.size(), config.num_reducers);
+  // Retry needs pristine copies to re-fetch; without it, keep today's pure
+  // move semantics (no segment copies on the happy path).
+  ShuffleServer server(mapTasks.size(), config.num_reducers, config.fault_injector,
+                       /*retainSegments=*/config.shuffle_retry.enabled);
+  const bool verifySegments = config.verify_fetched_segments || config.shuffle_retry.enabled;
 
   const u64 jobStart = nowUs();
 
@@ -235,11 +303,19 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
           // The span covers the blocking wait too: fetch-wait time is the
           // "reducer idle behind stragglers" signal a trace should show.
           obs::ScopedSpan span("segment_fetch", "shuffle");
-          auto fetched = server.fetch(r);
+          auto fetched = retryWithPolicy(
+              config.shuffle_retry, testing::site::kShuffleFetch,
+              [&] { return server.fetch(r); },
+              [&](int, const std::string&) {
+                result.counters.add(counter::kShuffleFetchRetries, 1);
+              });
           if (!fetched) break;
           span.arg("reducer", static_cast<u64>(r));
           span.arg("map", fetched->map_index);
           span.arg("bytes", fetched->segment.size());
+          if (verifySegments) {
+            verifyAndRecoverSegment(config, server, codec, *fetched, r, result.counters);
+          }
           shuffled += fetched->segment.size();
           segments[fetched->map_index] = std::move(fetched->segment);
         }
@@ -260,7 +336,20 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
       mapPool.submit([&, m] {
         auto output = runMapTaskWithRetries(config, codec, &codecPool, mapTasks[m], m,
                                             result.map_tasks[m], result.counters, errors);
-        if (output.has_value()) server.publish(m, std::move(output->segments));
+        if (!output.has_value()) return;
+        if (config.shuffle_retry.enabled || config.fault_injector != nullptr) {
+          // Copy per attempt so a publish that throws mid-way can be retried
+          // with intact segments; errors land in the slot (pool tasks must
+          // not throw) and abort the shuffle after the map phase.
+          try {
+            retryWithPolicy(config.shuffle_retry, testing::site::kShufflePublish,
+                            [&] { server.publish(m, output->segments); });
+          } catch (...) {
+            errors.record();
+          }
+        } else {
+          server.publish(m, std::move(output->segments));
+        }
       });
     }
     mapPool.wait();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/trace.h"
+#include "testing/fault_injector.h"
 
 namespace scishuffle::hadoop {
 
@@ -15,13 +16,19 @@ u64 nowUs() {
 }
 }  // namespace
 
-ShuffleServer::ShuffleServer(std::size_t numMaps, int numReducers) : numMaps_(numMaps) {
+ShuffleServer::ShuffleServer(std::size_t numMaps, int numReducers,
+                             testing::FaultInjector* faults, bool retainSegments)
+    : faults_(faults), retain_(retainSegments), numMaps_(numMaps) {
   check(numReducers >= 1, "need at least one reducer");
   queues_.resize(static_cast<std::size_t>(numReducers));
+  if (retain_) store_.resize(numMaps);
 }
 
 void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
   check(segments.size() == queues_.size(), "segment count != reducer count");
+  // Inject before any state changes: a thrown IoError here leaves the server
+  // exactly as if the publish never happened, so the caller can retry it.
+  if (faults_ != nullptr) faults_->hit(testing::site::kShufflePublish);
   obs::ScopedSpan span("segment_publish", "shuffle");
   if (span.enabled()) {
     u64 bytes = 0;
@@ -34,6 +41,7 @@ void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
     check(published_ < numMaps_, "more publishes than map tasks");
     ++published_;
     if (firstPublishUs_ == 0) firstPublishUs_ = nowUs();
+    if (retain_) store_[mapIndex] = segments;  // pristine copies for refetch()
     for (std::size_t r = 0; r < queues_.size(); ++r) {
       queues_[r].push_back(Fetched{mapIndex, std::move(segments[r])});
     }
@@ -44,15 +52,39 @@ void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
 std::optional<ShuffleServer::Fetched> ShuffleServer::fetch(int reducer) {
   const auto r = static_cast<std::size_t>(reducer);
   std::unique_lock lock(mutex_);
-  arrived_.wait(lock, [&] {
-    return aborted_ || !queues_[r].empty() || published_ == numMaps_;
-  });
-  if (aborted_) throw std::runtime_error("shuffle aborted: a map task failed permanently");
+  // Injection happens outside the lock (a delay must not serialize
+  // publishers) and at most once per fetch call, before the queue entry is
+  // consumed — so a thrown IoError loses nothing and a retry re-fetches it.
+  bool injected = faults_ == nullptr;
+  for (;;) {
+    arrived_.wait(lock,
+                  [&] { return aborted_ || !queues_[r].empty() || published_ == numMaps_; });
+    if (aborted_) throw std::runtime_error("shuffle aborted: a map task failed permanently");
+    if (injected) break;
+    injected = true;
+    lock.unlock();
+    faults_->hit(testing::site::kShuffleFetch);  // may throw IoError
+    lock.lock();
+  }
   if (queues_[r].empty()) return std::nullopt;  // all maps published, queue drained
   Fetched out = std::move(queues_[r].front());
   queues_[r].pop_front();
   lastFetchUs_ = nowUs();
+  if (faults_ != nullptr) {
+    lock.unlock();
+    // Models in-transit corruption: the popped copy is damaged, the retained
+    // pristine copy (if any) is not.
+    faults_->mutate(testing::site::kShuffleFetch, out.segment);
+  }
   return out;
+}
+
+Bytes ShuffleServer::refetch(std::size_t mapIndex, int reducer) const {
+  std::scoped_lock lock(mutex_);
+  check(retain_, "refetch requires retained segments");
+  check(mapIndex < store_.size() && !store_[mapIndex].empty(),
+        "refetch of unpublished map output");
+  return store_[mapIndex][static_cast<std::size_t>(reducer)];
 }
 
 void ShuffleServer::abort() {

@@ -14,11 +14,20 @@
 
 #include "hadoop/types.h"
 
+namespace scishuffle::testing {
+class FaultInjector;
+}
+
 namespace scishuffle::hadoop {
 
 class ShuffleServer {
  public:
-  ShuffleServer(std::size_t numMaps, int numReducers);
+  /// `faults` (optional, test-only) injects shuffle.publish / shuffle.fetch
+  /// faults. `retainSegments` keeps a pristine copy of every published
+  /// segment so refetch() can heal a corrupt transfer — the in-memory
+  /// equivalent of the mapper's on-disk output surviving a bad copy.
+  ShuffleServer(std::size_t numMaps, int numReducers,
+                testing::FaultInjector* faults = nullptr, bool retainSegments = false);
 
   /// Publishes map task `mapIndex`'s materialized output, one segment per
   /// reducer. Thread-safe; each map publishes exactly once (a retried map
@@ -35,6 +44,14 @@ class ShuffleServer {
   /// std::runtime_error after abort().
   std::optional<Fetched> fetch(int reducer);
 
+  /// Re-reads the pristine retained copy of one published segment (no fault
+  /// injection — models re-reading the mapper's surviving local output).
+  /// Requires retainSegments; throws std::logic_error otherwise or when map
+  /// `mapIndex` has not published.
+  Bytes refetch(std::size_t mapIndex, int reducer) const;
+
+  bool retainsSegments() const { return retain_; }
+
   /// Wakes every fetcher with an error — called when a map task fails
   /// permanently and its segments will never arrive.
   void abort();
@@ -48,6 +65,9 @@ class ShuffleServer {
   mutable std::mutex mutex_;
   std::condition_variable arrived_;
   std::vector<std::deque<Fetched>> queues_;  // per reducer
+  std::vector<std::vector<Bytes>> store_;    // per map: pristine copies (retain mode)
+  testing::FaultInjector* faults_;
+  bool retain_;
   std::size_t numMaps_;
   std::size_t published_ = 0;
   bool aborted_ = false;

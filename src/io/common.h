@@ -35,6 +35,15 @@ class FormatError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown on transient I/O failures: a dropped shuffle fetch, an unreachable
+/// DFS replica, a flaky medium. Like FormatError it is retryable — the
+/// recovery layer (hadoop/retry.h) re-attempts both — but it means "the
+/// transfer failed", not "the bytes are malformed".
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Precondition/invariant check that survives NDEBUG builds. Used on
 /// conditions that guard data integrity rather than hot inner loops.
 inline void check(bool condition, const char* what) {

@@ -30,7 +30,7 @@ Bytes ByteSource::readAll() {
   return out;
 }
 
-std::size_t MemorySource::read(MutableByteSpan out) {
+std::size_t MemorySource::readSome(MutableByteSpan out) {
   const std::size_t n = std::min(out.size(), data_.size() - pos_);
   std::memcpy(out.data(), data_.data() + pos_, n);
   pos_ += n;
@@ -54,7 +54,7 @@ FileSource::FileSource(const std::filesystem::path& path)
   checkFormat(file_ != nullptr, "cannot open file for reading");
 }
 
-std::size_t FileSource::read(MutableByteSpan out) {
+std::size_t FileSource::readSome(MutableByteSpan out) {
   return std::fread(out.data(), 1, out.size(), file_.get());
 }
 

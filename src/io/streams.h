@@ -31,7 +31,15 @@ class ByteSource {
   virtual ~ByteSource() = default;
 
   /// Reads up to out.size() bytes; returns the number read (0 at EOF).
-  virtual std::size_t read(MutableByteSpan out) = 0;
+  std::size_t read(MutableByteSpan out) {
+    const std::size_t n = readSome(out);
+    consumed_ += n;
+    return n;
+  }
+
+  /// Bytes handed out so far; lets format readers report the stream offset
+  /// of a decode error on any source, not just memory-backed ones.
+  u64 consumed() const { return consumed_; }
 
   /// Reads exactly out.size() bytes or throws FormatError on truncation.
   void readExact(MutableByteSpan out);
@@ -41,6 +49,12 @@ class ByteSource {
 
   /// Drains the remainder of the stream.
   Bytes readAll();
+
+ protected:
+  virtual std::size_t readSome(MutableByteSpan out) = 0;
+
+ private:
+  u64 consumed_ = 0;
 };
 
 /// Appends to an in-memory buffer owned elsewhere.
@@ -57,9 +71,11 @@ class MemorySink final : public ByteSink {
 class MemorySource final : public ByteSource {
  public:
   explicit MemorySource(ByteSpan data) : data_(data) {}
-  std::size_t read(MutableByteSpan out) override;
   std::size_t remaining() const { return data_.size() - pos_; }
   std::size_t position() const { return pos_; }
+
+ protected:
+  std::size_t readSome(MutableByteSpan out) override;
 
  private:
   ByteSpan data_;
@@ -86,7 +102,9 @@ class FileSink final : public ByteSink {
 class FileSource final : public ByteSource {
  public:
   explicit FileSource(const std::filesystem::path& path);
-  std::size_t read(MutableByteSpan out) override;
+
+ protected:
+  std::size_t readSome(MutableByteSpan out) override;
 
  private:
   struct Closer {

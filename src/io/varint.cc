@@ -44,16 +44,24 @@ bool vlongFirstByteIsNegative(u8 b) {
   return s < -120 || (s >= -112 && s < 0);
 }
 
+namespace {
+[[noreturn]] void vlongError(const char* what, u64 offset) {
+  throw FormatError(std::string("scishuffle format error: ") + what + " at stream offset " +
+                    std::to_string(offset));
+}
+}  // namespace
+
 i64 readVLong(ByteSource& source) {
+  const u64 start = source.consumed();
   const int first = source.readByte();
-  checkFormat(first >= 0, "EOF reading vlong");
+  if (first < 0) vlongError("EOF reading vlong", start);
   const u8 fb = static_cast<u8>(first);
   const int total = decodeVLongSize(fb);
   if (total == 1) return static_cast<i8>(fb);
   u64 mag = 0;
   for (int idx = 0; idx < total - 1; ++idx) {
     const int b = source.readByte();
-    checkFormat(b >= 0, "EOF inside vlong");
+    if (b < 0) vlongError("EOF inside vlong", start);
     mag = (mag << 8) | static_cast<u64>(b);
   }
   const bool negative = static_cast<i8>(fb) < -120;

@@ -17,7 +17,8 @@ namespace scishuffle {
 void writeVLong(ByteSink& sink, i64 v);
 inline void writeVInt(ByteSink& sink, i32 v) { writeVLong(sink, v); }
 
-/// Reads a value written by writeVLong. Throws FormatError at EOF/corruption.
+/// Reads a value written by writeVLong. Throws FormatError at EOF/corruption;
+/// the message names the stream offset where the vlong started.
 i64 readVLong(ByteSource& source);
 i32 readVInt(ByteSource& source);
 

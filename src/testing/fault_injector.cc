@@ -1,0 +1,80 @@
+#include "testing/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace scishuffle::testing {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed), states_(plan_.rules.size()) {}
+
+bool FaultInjector::shouldFire(std::size_t i, const std::string& site) {
+  const FaultRule& rule = plan_.rules[i];
+  if (rule.site != site) return false;
+  RuleState& st = states_[i];
+  const u64 call = st.calls++;
+  if (call < rule.skip_calls) return false;
+  if (rule.max_triggers != 0 && st.triggers >= rule.max_triggers) return false;
+  if (rule.probability < 1.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) >= rule.probability) return false;
+  }
+  ++st.triggers;
+  ++site_triggers_[site];
+  return true;
+}
+
+void FaultInjector::hit(const std::string& site) {
+  u64 delay_us = 0;
+  bool throw_io = false;
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+      const FaultKind kind = plan_.rules[i].kind;
+      if (kind != FaultKind::kThrowIo && kind != FaultKind::kDelay) continue;
+      if (!shouldFire(i, site)) continue;
+      if (kind == FaultKind::kDelay) {
+        delay_us += plan_.rules[i].delay_us;
+      } else {
+        throw_io = true;
+      }
+    }
+  }
+  // Sleep and throw outside the lock so concurrent tasks are not serialized
+  // behind an injected delay.
+  if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  if (throw_io) throw IoError("injected I/O fault at " + site);
+}
+
+void FaultInjector::mutate(const std::string& site, Bytes& buf) {
+  if (buf.empty()) return;  // nothing to damage; rules stay armed
+  std::lock_guard<std::mutex> guard(lock_);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultKind kind = plan_.rules[i].kind;
+    if (kind != FaultKind::kCorruptBytes && kind != FaultKind::kTruncate) continue;
+    if (!shouldFire(i, site)) continue;
+    if (kind == FaultKind::kCorruptBytes) {
+      std::uniform_int_distribution<std::size_t> pos(0, buf.size() - 1);
+      std::uniform_int_distribution<int> bit(0, 7);
+      buf[pos(rng_)] ^= static_cast<u8>(1u << bit(rng_));
+    } else {
+      std::uniform_int_distribution<std::size_t> len(0, buf.size() - 1);
+      buf.resize(len(rng_));
+    }
+  }
+}
+
+u64 FaultInjector::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  const auto it = site_triggers_.find(site);
+  return it == site_triggers_.end() ? 0 : it->second;
+}
+
+u64 FaultInjector::totalTriggered() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  u64 total = 0;
+  for (const auto& [site, n] : site_triggers_) total += n;
+  return total;
+}
+
+}  // namespace scishuffle::testing

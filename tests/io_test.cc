@@ -148,7 +148,8 @@ TEST(BitIoTest, MsbFirstCodesRoundTripBitByBit) {
 }
 
 TEST(StreamsTest, FileRoundTrip) {
-  const auto path = std::filesystem::temp_directory_path() / "scishuffle_io_test.bin";
+  const testing::TempDir dir;
+  const auto path = dir.file("scishuffle_io_test.bin");
   const Bytes data = testing::randomBytes(100000, 3);
   {
     FileSink sink(path);
@@ -156,7 +157,22 @@ TEST(StreamsTest, FileRoundTrip) {
   }
   FileSource source(path);
   EXPECT_EQ(source.readAll(), data);
-  std::filesystem::remove(path);
+}
+
+TEST(StreamsTest, ConsumedTracksBytesHandedOut) {
+  const Bytes data = testing::randomBytes(100, 4);
+  MemorySource src(data);
+  EXPECT_EQ(src.consumed(), 0u);
+  Bytes out(30);
+  src.readExact(MutableByteSpan(out.data(), out.size()));
+  EXPECT_EQ(src.consumed(), 30u);
+  src.readByte();
+  EXPECT_EQ(src.consumed(), 31u);
+  src.readAll();
+  EXPECT_EQ(src.consumed(), 100u);
+  // EOF reads don't advance.
+  EXPECT_EQ(src.readByte(), -1);
+  EXPECT_EQ(src.consumed(), 100u);
 }
 
 TEST(StreamsTest, CountingSinkCounts) {

@@ -264,9 +264,8 @@ TEST(EngineTest, DiskBackedSpillsProduceIdenticalResults) {
   memConfig.num_reducers = 3;
   memConfig.spill_buffer_bytes = 2048;  // force several spills per task
   JobConfig diskConfig = memConfig;
-  const auto dir = std::filesystem::temp_directory_path() / "scishuffle_spills";
-  std::filesystem::create_directories(dir);
-  diskConfig.spill_dir = dir;
+  const testing::TempDir dir("scishuffle_spills");
+  diskConfig.spill_dir = dir.path();
 
   const JobResult mem = runWordCount(docs, memConfig);
   const JobResult disk = runWordCount(docs, diskConfig);
@@ -274,8 +273,7 @@ TEST(EngineTest, DiskBackedSpillsProduceIdenticalResults) {
   EXPECT_EQ(disk.counters.get(counter::kMapOutputMaterializedBytes),
             mem.counters.get(counter::kMapOutputMaterializedBytes));
   // Transient spill files are cleaned up after the merge.
-  EXPECT_TRUE(std::filesystem::is_empty(dir));
-  std::filesystem::remove_all(dir);
+  EXPECT_TRUE(std::filesystem::is_empty(dir.path()));
 }
 
 TEST(EngineTest, EmptyJobProducesEmptyOutputs) {

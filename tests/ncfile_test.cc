@@ -4,6 +4,7 @@
 
 #include "grid/ncfile.h"
 #include "io/streams.h"
+#include "testing_support.h"
 
 namespace scishuffle::grid {
 namespace {
@@ -38,11 +39,11 @@ TEST(NcFileTest, RoundTripsAllTypes) {
 }
 
 TEST(NcFileTest, FileRoundTrip) {
-  const auto path = std::filesystem::temp_directory_path() / "scishuffle_ncfile_test.bin";
+  const testing::TempDir dir;
+  const auto path = dir.file("scishuffle_ncfile_test.bin");
   saveDataset(path, sampleDataset());
   const Dataset loaded = loadDataset(path);
   EXPECT_EQ(loaded.variable("pressure").int32At({2, 3, 4}), Shape({3, 4, 5}).linearize({2, 3, 4}));
-  std::filesystem::remove(path);
 }
 
 TEST(NcFileTest, EmptyDataset) {

@@ -1,0 +1,119 @@
+// Property-testing harness: seeded generators, a forAll driver, and
+// shrinking-lite by halving.
+//
+// Everything derives from one u64 seed (testing::propertySeed(), overridable
+// via SCISHUFFLE_PROP_SEED), and a failure reports the seed, the iteration,
+// and the shrunken input — enough to replay the exact failing case:
+//
+//   SCISHUFFLE_PROP_SEED=12345 ./property_test --gtest_filter=...
+//
+// Shrinking is deliberately minimal: when an input fails, try its first and
+// second halves while they keep failing. That finds "the bug is in byte
+// layout, not in size" counterexamples at a fraction of full QuickCheck
+// shrinking's cost.
+#pragma once
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "testing_support.h"
+
+namespace scishuffle::testing {
+
+// ------------------------------------------------------------- generators
+
+/// Uniform random length in [lo, hi], skewed toward the low end (corpus
+/// bugs live in small inputs; byte-level bugs in big ones — 1 in 4 draws
+/// takes the full range).
+inline std::size_t propLength(std::mt19937_64& rng, std::size_t lo, std::size_t hi) {
+  std::uniform_int_distribution<std::size_t> full(lo, hi);
+  std::uniform_int_distribution<int> skew(0, 3);
+  if (skew(rng) != 0) {
+    const std::size_t small = lo + (hi - lo) / 8;
+    std::uniform_int_distribution<std::size_t> low(lo, small > lo ? small : lo);
+    return low(rng);
+  }
+  return full(rng);
+}
+
+/// Adversarial byte streams: rotates among uniform noise, low-entropy runs,
+/// all-equal bytes, the empty stream, and structured grid-walk bytes — the
+/// shapes that historically break codecs in different places.
+inline Bytes adversarialBytes(std::mt19937_64& rng, std::size_t maxLen = 4096) {
+  std::uniform_int_distribution<int> style(0, 4);
+  const u32 subSeed = static_cast<u32>(rng());
+  const std::size_t n = propLength(rng, 0, maxLen);
+  switch (style(rng)) {
+    case 0: return randomBytes(n, subSeed);
+    case 1: return runnyBytes(n, subSeed);
+    case 2: return Bytes(n, static_cast<u8>(subSeed & 0xff));
+    case 3: return Bytes{};
+    default: {
+      // Structured: serialized int32 triples, truncated to n bytes.
+      const i32 side = 2 + static_cast<i32>(subSeed % 9);
+      Bytes grid = gridWalkTriples(side, side, side);
+      grid.resize(std::min(grid.size(), n));
+      return grid;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- driver
+
+/// Halves `failing` while the halves keep failing `prop`; returns the
+/// smallest still-failing input found.
+template <typename T, typename Prop>
+std::vector<T> shrinkByHalving(std::vector<T> failing, const Prop& prop) {
+  for (;;) {
+    const std::size_t n = failing.size();
+    if (n < 2) return failing;
+    std::vector<T> half(failing.begin(), failing.begin() + static_cast<std::ptrdiff_t>(n / 2));
+    if (!prop(half)) {
+      failing = std::move(half);
+      continue;
+    }
+    half.assign(failing.begin() + static_cast<std::ptrdiff_t>(n / 2), failing.end());
+    if (!prop(half)) {
+      failing = std::move(half);
+      continue;
+    }
+    return failing;
+  }
+}
+
+/// Runs `prop` over `iters` inputs drawn from `gen(rng)`. On the first
+/// failure, shrinks by halving and reports seed + iteration + shrunken size
+/// through a gtest failure. `prop` must be pure (safe to re-run on shrunken
+/// inputs) and return true when the property holds.
+template <typename Gen, typename Prop>
+void forAll(const std::string& name, u64 seed, int iters, const Gen& gen, const Prop& prop) {
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < iters; ++i) {
+    auto input = gen(rng);
+    bool ok = false;
+    std::string what;
+    try {
+      ok = prop(input);
+    } catch (const std::exception& e) {
+      what = std::string(" (threw: ") + e.what() + ")";
+    }
+    if (ok) continue;
+    const auto quietProp = [&](const decltype(input)& candidate) {
+      try {
+        return prop(candidate);
+      } catch (...) {
+        return false;
+      }
+    };
+    const auto shrunk = shrinkByHalving(input, quietProp);
+    ADD_FAILURE() << "property '" << name << "' failed at iteration " << i << " of " << iters
+                  << " (seed " << seed << ", SCISHUFFLE_PROP_SEED to replay)" << what
+                  << "; input size " << input.size() << ", shrunk to " << shrunk.size()
+                  << " bytes";
+    return;
+  }
+}
+
+}  // namespace scishuffle::testing

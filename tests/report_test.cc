@@ -156,9 +156,8 @@ TEST(ReportJsonTest, HistogramsAbsentByDefault) {
 }
 
 TEST(ReportTraceTest, TraceFileCoversEveryStageCategory) {
-  const std::filesystem::path path =
-      std::filesystem::path(::testing::TempDir()) / "report_test_trace.json";
-  std::filesystem::remove(path);
+  const testing::TempDir dir;
+  const std::filesystem::path path = dir.file("report_test_trace.json");
   runTinyJob(false, [&path](JobConfig& c) {
     c.trace_path = path;
     c.shuffle_pipeline = true;
@@ -177,7 +176,6 @@ TEST(ReportTraceTest, TraceFileCoversEveryStageCategory) {
   for (const char* cat : {"job", "map", "spill", "codec", "shuffle", "merge", "reduce"}) {
     EXPECT_TRUE(categories.count(cat)) << "missing category: " << cat;
   }
-  std::filesystem::remove(path);
 }
 
 TEST(ReportTest, ResidentPeakCounterIsMaxOverReduceTasksNotSum) {

@@ -4,6 +4,11 @@
 // (trace files, jobReportJson, BENCH_*.json).
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <random>
@@ -16,6 +21,58 @@
 #include "io/streams.h"
 
 namespace scishuffle::testing {
+
+/// RAII temporary directory under the system temp root, removed recursively
+/// on destruction. Replaces the ad-hoc create/remove_all pairs the suites
+/// used to carry.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "scishuffle") {
+    static std::atomic<u64> counter{0};
+    std::random_device rd;
+    const u64 tag = (static_cast<u64>(rd()) << 16) ^ counter.fetch_add(1);
+    path_ = std::filesystem::temp_directory_path() / (prefix + "_" + std::to_string(tag));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::filesystem::path file(const std::string& name) const { return path_ / name; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+inline constexpr u64 kDefaultPropertySeed = 20260806;
+
+/// Seed for the randomized suites: SCISHUFFLE_PROP_SEED in the environment
+/// overrides the fixed default, and every suite logs the seed it ran with so
+/// a failure replays exactly.
+inline u64 propertySeed() {
+  if (const char* env = std::getenv("SCISHUFFLE_PROP_SEED")) {
+    return static_cast<u64>(std::strtoull(env, nullptr, 10));
+  }
+  return kDefaultPropertySeed;
+}
+
+/// gtest fixture with a per-test PRNG seeded from propertySeed(); the seed is
+/// recorded in the test output for replay.
+class SeededRngTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    seed_ = propertySeed();
+    rng_.seed(seed_);
+    RecordProperty("scishuffle_seed", std::to_string(seed_));
+  }
+
+  u64 seed_ = 0;
+  std::mt19937_64 rng_;
+};
 
 /// Uniform random bytes from a fixed seed.
 inline Bytes randomBytes(std::size_t n, u32 seed) {

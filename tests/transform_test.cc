@@ -133,7 +133,9 @@ TEST(TransformTest, FixedStride12OnTripleStream) {
 class DribblingSource final : public ByteSource {
  public:
   explicit DribblingSource(ByteSpan data) : data_(data) {}
-  std::size_t read(MutableByteSpan out) override {
+
+ protected:
+  std::size_t readSome(MutableByteSpan out) override {
     if (pos_ >= data_.size()) return 0;
     const std::size_t chunk = 1 + (pos_ * 7919) % 7;  // 1..7 bytes
     const std::size_t n = std::min({out.size(), chunk, data_.size() - pos_});
