@@ -1,3 +1,9 @@
+// Concurrency note: this file's parallelism is structured as fan-out over
+// futures — sealed blocks and decode-ahead frames are owned by exactly one
+// pool task, results are joined through std::future, and the only shared
+// mutable state is the relaxed `cpuUs_` accounting atomic. There is no mutex
+// to annotate; the thread-safety story is ownership transfer, checked
+// dynamically by the TSan CI job (docs/STATIC_ANALYSIS.md §coverage).
 #include "compress/block_format.h"
 
 #include <chrono>

@@ -9,36 +9,36 @@ Counters::Counters(const Counters& other) : values_(other.snapshot()) {}
 Counters& Counters::operator=(const Counters& other) {
   if (this != &other) {
     auto snap = other.snapshot();
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     values_ = std::move(snap);
   }
   return *this;
 }
 
 void Counters::add(const std::string& name, u64 delta) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   values_[name] += delta;
 }
 
 void Counters::set(const std::string& name, u64 value) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   values_[name] = value;
 }
 
 u64 Counters::get(const std::string& name) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = values_.find(name);
   return it == values_.end() ? 0 : it->second;
 }
 
 void Counters::merge(const Counters& other) {
   const auto snap = other.snapshot();
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, value] : snap) values_[name] += value;
 }
 
 std::map<std::string, u64> Counters::snapshot() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return values_;
 }
 

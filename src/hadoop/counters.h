@@ -4,17 +4,19 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "io/annotations.h"
 #include "io/common.h"
 
 namespace scishuffle::hadoop {
 
-/// Canonical counter names (Hadoop's spelling where one exists).
+/// Canonical counter names (Hadoop's spelling where one exists). Every
+/// constant here must be referenced by the runtime and documented in
+/// docs/OBSERVABILITY.md — `tools/lint` enforces both, so a counter cannot
+/// silently go dead or undocumented.
 namespace counter {
-inline constexpr const char* kMapInputRecords = "MAP_INPUT_RECORDS";
 inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
 inline constexpr const char* kMapOutputBytes = "MAP_OUTPUT_BYTES";
 inline constexpr const char* kMapOutputMaterializedBytes = "MAP_OUTPUT_MATERIALIZED_BYTES";
@@ -70,8 +72,8 @@ class Counters {
   std::string toString() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, u64> values_;
+  mutable Mutex mutex_;
+  std::map<std::string, u64> values_ GUARDED_BY(mutex_);
 };
 
 }  // namespace scishuffle::hadoop

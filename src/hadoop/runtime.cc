@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "compress/block_format.h"
@@ -11,6 +10,7 @@
 #include "hadoop/merge.h"
 #include "hadoop/retry.h"
 #include "hadoop/shuffle.h"
+#include "io/annotations.h"
 #include "io/thread_pool.h"
 #include "obs/trace.h"
 #include "testing/fault_injector.h"
@@ -32,21 +32,36 @@ int codecPoolThreads(const JobConfig& config) {
 }
 
 /// Shared scaffolding for per-task error collection.
-struct ErrorSlot {
-  std::exception_ptr first;
-  std::mutex mutex;
-
+class ErrorSlot {
+ public:
   void record() {
-    std::scoped_lock lock(mutex);
-    if (!first) first = std::current_exception();
+    MutexLock lock(mutex_);
+    if (!first_) first_ = std::current_exception();
   }
   void record(std::exception_ptr e) {
-    std::scoped_lock lock(mutex);
-    if (!first) first = std::move(e);
+    MutexLock lock(mutex_);
+    if (!first_) first_ = std::move(e);
   }
+  bool any() const {
+    MutexLock lock(mutex_);
+    return first_ != nullptr;
+  }
+  // Reads under the lock like every other accessor: callers invoke this after
+  // the pools quiesce, but the lock keeps the accessor safe on its own terms
+  // instead of leaning on each call site's happens-before (the unlocked read
+  // here was flushed out by -Wthread-safety once `first_` became GUARDED_BY).
   void rethrowIfSet() {
-    if (first) std::rethrow_exception(first);
+    std::exception_ptr e;
+    {
+      MutexLock lock(mutex_);
+      e = first_;
+    }
+    if (e) std::rethrow_exception(e);
   }
+
+ private:
+  mutable Mutex mutex_;
+  std::exception_ptr first_ GUARDED_BY(mutex_);
 };
 
 /// Full decode scan of a block-framed segment; false on any frame/CRC error.
@@ -141,7 +156,7 @@ std::optional<MapOutput> runMapTaskWithRetries(const JobConfig& config, const Co
 /// and copies per attempt (as a re-fetch would).
 void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, ThreadPool* codecPool,
                               const ReduceFn& reduce, const std::vector<Bytes>& segments,
-                              JobResult& result, std::mutex& outputsMutex, int r,
+                              JobResult& result, Mutex& outputsMutex, int r,
                               ErrorSlot& errors) {
   // Corrupt-data (FormatError) failures get the shuffle retry budget when it
   // is larger: a transient corrupt block deserves the same bounded-backoff
@@ -173,7 +188,7 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
           taskCounters.get(counter::kReduceMergeResidentPeakBytes);
       for (const auto& kv : output) stats.output_bytes += kv.key.size() + kv.value.size();
       {
-        std::scoped_lock lock(outputsMutex);
+        MutexLock lock(outputsMutex);
         result.outputs[static_cast<std::size_t>(r)] = std::move(output);
       }
       result.counters.merge(taskCounters);
@@ -206,7 +221,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   JobResult result;
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
-  std::mutex outputsMutex;
+  Mutex outputsMutex;
   std::vector<std::optional<MapOutput>> mapOutputs(mapTasks.size());
   ErrorSlot errors;
 
@@ -278,7 +293,7 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
   result.outputs.resize(static_cast<std::size_t>(config.num_reducers));
-  std::mutex outputsMutex;
+  Mutex outputsMutex;
   ErrorSlot errors;
 
   ThreadPool codecPool(codecPoolThreads(config));
@@ -356,10 +371,7 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   }
   const u64 mapEnd = nowUs();
   result.timings.map_phase_us = mapEnd - jobStart;
-  {
-    std::scoped_lock lock(errors.mutex);
-    if (errors.first) server.abort();  // a map never published; unblock fetchers
-  }
+  if (errors.any()) server.abort();  // a map never published; unblock fetchers
 
   reducePool.wait();
   const u64 jobEnd = nowUs();

@@ -25,7 +25,6 @@ ShuffleServer::ShuffleServer(std::size_t numMaps, int numReducers,
 }
 
 void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
-  check(segments.size() == queues_.size(), "segment count != reducer count");
   // Inject before any state changes: a thrown IoError here leaves the server
   // exactly as if the publish never happened, so the caller can retry it.
   if (faults_ != nullptr) faults_->hit(testing::site::kShufflePublish);
@@ -37,7 +36,8 @@ void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
     span.arg("bytes", bytes);
   }
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
+    check(segments.size() == queues_.size(), "segment count != reducer count");
     check(published_ < numMaps_, "more publishes than map tasks");
     ++published_;
     if (firstPublishUs_ == 0) firstPublishUs_ = nowUs();
@@ -51,36 +51,37 @@ void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
 
 std::optional<ShuffleServer::Fetched> ShuffleServer::fetch(int reducer) {
   const auto r = static_cast<std::size_t>(reducer);
-  std::unique_lock lock(mutex_);
-  // Injection happens outside the lock (a delay must not serialize
-  // publishers) and at most once per fetch call, before the queue entry is
-  // consumed — so a thrown IoError loses nothing and a retry re-fetches it.
-  bool injected = faults_ == nullptr;
-  for (;;) {
-    arrived_.wait(lock,
-                  [&] { return aborted_ || !queues_[r].empty() || published_ == numMaps_; });
-    if (aborted_) throw std::runtime_error("shuffle aborted: a map task failed permanently");
-    if (injected) break;
-    injected = true;
-    lock.unlock();
-    faults_->hit(testing::site::kShuffleFetch);  // may throw IoError
-    lock.lock();
+  Fetched out;
+  {
+    MutexLock lock(mutex_);
+    // Injection happens outside the lock (a delay must not serialize
+    // publishers) and at most once per fetch call, before the queue entry is
+    // consumed — so a thrown IoError loses nothing and a retry re-fetches it.
+    bool injected = faults_ == nullptr;
+    for (;;) {
+      while (!aborted_ && queues_[r].empty() && published_ != numMaps_) arrived_.wait(lock);
+      if (aborted_) throw std::runtime_error("shuffle aborted: a map task failed permanently");
+      if (injected) break;
+      injected = true;
+      lock.unlock();
+      faults_->hit(testing::site::kShuffleFetch);  // may throw IoError
+      lock.lock();
+    }
+    if (queues_[r].empty()) return std::nullopt;  // all maps published, queue drained
+    out = std::move(queues_[r].front());
+    queues_[r].pop_front();
+    lastFetchUs_ = nowUs();
   }
-  if (queues_[r].empty()) return std::nullopt;  // all maps published, queue drained
-  Fetched out = std::move(queues_[r].front());
-  queues_[r].pop_front();
-  lastFetchUs_ = nowUs();
   if (faults_ != nullptr) {
-    lock.unlock();
-    // Models in-transit corruption: the popped copy is damaged, the retained
-    // pristine copy (if any) is not.
+    // Models in-transit corruption (outside the lock): the popped copy is
+    // damaged, the retained pristine copy (if any) is not.
     faults_->mutate(testing::site::kShuffleFetch, out.segment);
   }
   return out;
 }
 
 Bytes ShuffleServer::refetch(std::size_t mapIndex, int reducer) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   check(retain_, "refetch requires retained segments");
   check(mapIndex < store_.size() && !store_[mapIndex].empty(),
         "refetch of unpublished map output");
@@ -89,19 +90,19 @@ Bytes ShuffleServer::refetch(std::size_t mapIndex, int reducer) const {
 
 void ShuffleServer::abort() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     aborted_ = true;
   }
   arrived_.notify_all();
 }
 
 u64 ShuffleServer::firstPublishUs() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return firstPublishUs_;
 }
 
 u64 ShuffleServer::lastFetchUs() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return lastFetchUs_;
 }
 

@@ -4,15 +4,17 @@
 // so reduce-side fetch and first-block decode overlap the tail of the map
 // phase instead of waiting behind a map barrier (PhaseTimings records how
 // much shuffle wall-time hid under the map phase as shuffle_overlap_us).
+//
+// All queue/stat state is GUARDED_BY(mutex_); Clang's -Wthread-safety proves
+// the discipline at compile time (docs/STATIC_ANALYSIS.md).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "hadoop/types.h"
+#include "io/annotations.h"
 
 namespace scishuffle::testing {
 class FaultInjector;
@@ -62,17 +64,18 @@ class ShuffleServer {
   u64 lastFetchUs() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable arrived_;
-  std::vector<std::deque<Fetched>> queues_;  // per reducer
-  std::vector<std::vector<Bytes>> store_;    // per map: pristine copies (retain mode)
-  testing::FaultInjector* faults_;
-  bool retain_;
-  std::size_t numMaps_;
-  std::size_t published_ = 0;
-  bool aborted_ = false;
-  u64 firstPublishUs_ = 0;
-  u64 lastFetchUs_ = 0;
+  mutable Mutex mutex_;
+  CondVar arrived_;
+  std::vector<std::deque<Fetched>> queues_ GUARDED_BY(mutex_);  // per reducer
+  // Per map: pristine copies (retain mode).
+  std::vector<std::vector<Bytes>> store_ GUARDED_BY(mutex_);
+  std::size_t published_ GUARDED_BY(mutex_) = 0;
+  bool aborted_ GUARDED_BY(mutex_) = false;
+  u64 firstPublishUs_ GUARDED_BY(mutex_) = 0;
+  u64 lastFetchUs_ GUARDED_BY(mutex_) = 0;
+  testing::FaultInjector* faults_;  // const after construction
+  bool retain_;                     // const after construction
+  std::size_t numMaps_;             // const after construction
 };
 
 }  // namespace scishuffle::hadoop

@@ -1,0 +1,127 @@
+// Clang thread-safety annotations plus the annotated synchronization
+// primitives the rest of the tree uses. Under Clang, `-Wthread-safety`
+// statically proves lock discipline — every GUARDED_BY field is only touched
+// with its mutex held, every REQUIRES function is only called under the right
+// lock — at compile time, on *every* path, not just the interleavings a TSan
+// run happens to exercise. Under other compilers every macro expands to
+// nothing and the wrappers are zero-cost shims over the std primitives.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md):
+//   * A class that guards state with a mutex uses `Mutex` (never a bare
+//     std::mutex) and marks each guarded field `GUARDED_BY(mutex_)`.
+//   * Lock with `MutexLock` (never std::scoped_lock / std::lock_guard — the
+//     analysis cannot see through the std lockers on libstdc++).
+//   * Condition waits use `CondVar` with an explicit `while (!cond) wait();`
+//     loop. Predicate lambdas are analyzed as separate functions and would
+//     spuriously warn, so annotated code avoids them.
+//   * Private helpers that expect the lock held are marked
+//     `REQUIRES(mutex_)` and contain no locking themselves.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SCISHUFFLE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SCISHUFFLE_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) SCISHUFFLE_THREAD_ANNOTATION_(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SCISHUFFLE_THREAD_ANNOTATION_(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) SCISHUFFLE_THREAD_ANNOTATION_(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) SCISHUFFLE_THREAD_ANNOTATION_(pt_guarded_by(x))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) SCISHUFFLE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) SCISHUFFLE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) SCISHUFFLE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) SCISHUFFLE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) SCISHUFFLE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) SCISHUFFLE_THREAD_ANNOTATION_(assert_capability(x))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SCISHUFFLE_THREAD_ANNOTATION_(lock_returned(x))
+#endif
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS SCISHUFFLE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#endif
+
+namespace scishuffle {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute so the analysis can name it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII locker over Mutex (the annotated replacement for std::scoped_lock).
+/// Supports the mid-scope unlock()/lock() dance some call sites need (e.g.
+/// running fault-injection hooks outside the lock); the analysis then checks
+/// that every path out of the scope agrees on the lock state.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}  // lock_ releases; a body (not = default) so the
+                             // attribute attaches on every compiler
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RELEASE() { lock_.unlock(); }
+  void lock() ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to MutexLock. wait() atomically releases and
+/// reacquires the lock, so from the analysis's point of view the capability
+/// is held before and after — callers re-check their condition in an explicit
+/// loop, which is exactly what keeps the guarded reads visible to the
+/// checker (a predicate lambda would be analyzed out of context).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace scishuffle

@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(int slots) : slots_(slots) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -19,7 +19,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++inFlight_;
   }
@@ -27,23 +27,23 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lock(mutex_);
-  idle_.wait(lock, [this] { return inFlight_ == 0; });
+  MutexLock lock(mutex_);
+  while (inFlight_ != 0) idle_.wait(lock);
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // stopping
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       --inFlight_;
     }
     idle_.notify_all();

@@ -2,19 +2,19 @@
 // map/reduce "slots" (at most `slots` tasks execute concurrently, the rest
 // queue, mirroring Hadoop's per-node task slots); the block-framed codec
 // container uses it to fan per-block compression and decode-ahead work out
-// across cores.
+// across cores. Lock discipline is proven by Clang's thread-safety analysis
+// (see io/annotations.h and docs/STATIC_ANALYSIS.md).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "io/annotations.h"
 #include "io/common.h"
 
 namespace scishuffle {
@@ -49,13 +49,13 @@ class ThreadPool {
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  int inFlight_ = 0;
-  int slots_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  CondVar idle_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  int inFlight_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  int slots_ = 0;  // const after construction
 };
 
 }  // namespace scishuffle

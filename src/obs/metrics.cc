@@ -67,7 +67,7 @@ Histogram::Histogram(std::string name, std::string unit, std::vector<u64> bounds
 void Histogram::record(u64 value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   ++counts_[bucket];
   sum_ += value;
   if (count_ == 0 || value < min_) min_ = value;
@@ -80,7 +80,7 @@ HistogramSnapshot Histogram::snapshot() const {
   s.name = name_;
   s.unit = unit_;
   s.bounds = bounds_;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   s.counts = counts_;
   s.count = count_;
   s.sum = sum_;
@@ -129,24 +129,24 @@ void JobTelemetry::writeJson(JsonWriter& w) const {
 // ---------------------------------------------------------------- registry
 
 void MetricsRegistry::add(const std::string& counter, u64 delta) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   counters_[counter] += delta;
 }
 
 u64 MetricsRegistry::counter(const std::string& name) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::setGauge(const std::string& name, u64 value) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   gauges_[name] = value;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& unit,
                                       std::vector<u64> bounds) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(name, unit, std::move(bounds));
   return *slot;
@@ -154,7 +154,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::string
 
 JobTelemetry MetricsRegistry::snapshot() const {
   JobTelemetry t;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   t.counters = counters_;
   t.gauges = gauges_;
   t.histograms.reserve(histograms_.size());

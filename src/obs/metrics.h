@@ -13,11 +13,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "io/annotations.h"
 #include "io/common.h"
 #include "obs/json.h"
 #include "obs/trace.h"
@@ -67,12 +67,12 @@ class Histogram {
   const std::string name_;
   const std::string unit_;
   const std::vector<u64> bounds_;
-  mutable std::mutex mutex_;
-  std::vector<u64> counts_;
-  u64 count_ = 0;
-  u64 sum_ = 0;
-  u64 min_ = 0;
-  u64 max_ = 0;
+  mutable Mutex mutex_;
+  std::vector<u64> counts_ GUARDED_BY(mutex_);
+  u64 count_ GUARDED_BY(mutex_) = 0;
+  u64 sum_ GUARDED_BY(mutex_) = 0;
+  u64 min_ GUARDED_BY(mutex_) = 0;
+  u64 max_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Everything a finished job reports beyond its raw outputs: the counter
@@ -106,10 +106,12 @@ class MetricsRegistry {
   JobTelemetry snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, u64> counters_;
-  std::map<std::string, u64> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, u64> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, u64> gauges_ GUARDED_BY(mutex_);
+  // unique_ptr so the reference histogram() hands out stays valid while the
+  // map rebalances; the pointed-to Histogram has its own lock.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mutex_);
 };
 
 /// Folds recorded spans into per-stage histograms (see file comment).

@@ -35,7 +35,7 @@ u64 TraceRecorder::nowUs() const {
 }
 
 u32 TraceRecorder::tidOf(std::thread::id id) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = tids_.find(id);
   if (it != tids_.end()) return it->second;
   const u32 tid = static_cast<u32>(tids_.size() + 1);
@@ -44,17 +44,17 @@ u32 TraceRecorder::tidOf(std::thread::id id) {
 }
 
 void TraceRecorder::record(Span span) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.push_back(std::move(span));
 }
 
 std::vector<Span> TraceRecorder::snapshot() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_;
 }
 
 std::size_t TraceRecorder::spanCount() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return spans_.size();
 }
 

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <filesystem>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -20,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "io/annotations.h"
 #include "io/common.h"
 
 namespace scishuffle::obs {
@@ -58,9 +58,9 @@ class TraceRecorder {
 
  private:
   const u64 epochUs_;  // steady-clock us at construction
-  mutable std::mutex mutex_;
-  std::vector<Span> spans_;
-  std::unordered_map<std::thread::id, u32> tids_;
+  mutable Mutex mutex_;
+  std::vector<Span> spans_ GUARDED_BY(mutex_);
+  std::unordered_map<std::thread::id, u32> tids_ GUARDED_BY(mutex_);
 };
 
 /// The recorder instrumentation sites write to; nullptr = tracing disabled.

@@ -28,7 +28,7 @@ void FaultInjector::hit(const std::string& site) {
   u64 delay_us = 0;
   bool throw_io = false;
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    MutexLock guard(lock_);
     for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
       const FaultKind kind = plan_.rules[i].kind;
       if (kind != FaultKind::kThrowIo && kind != FaultKind::kDelay) continue;
@@ -48,7 +48,7 @@ void FaultInjector::hit(const std::string& site) {
 
 void FaultInjector::mutate(const std::string& site, Bytes& buf) {
   if (buf.empty()) return;  // nothing to damage; rules stay armed
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultKind kind = plan_.rules[i].kind;
     if (kind != FaultKind::kCorruptBytes && kind != FaultKind::kTruncate) continue;
@@ -65,13 +65,13 @@ void FaultInjector::mutate(const std::string& site, Bytes& buf) {
 }
 
 u64 FaultInjector::triggered(const std::string& site) const {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   const auto it = site_triggers_.find(site);
   return it == site_triggers_.end() ? 0 : it->second;
 }
 
 u64 FaultInjector::totalTriggered() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   u64 total = 0;
   for (const auto& [site, n] : site_triggers_) total += n;
   return total;

@@ -16,12 +16,12 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <random>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "io/annotations.h"
 #include "io/common.h"
 
 namespace scishuffle::testing {
@@ -86,13 +86,13 @@ class FaultInjector {
 
   // Decides (under lock_) whether rule i fires for this call, updating its
   // counters. Returns false for non-matching sites.
-  bool shouldFire(std::size_t i, const std::string& site);
+  bool shouldFire(std::size_t i, const std::string& site) REQUIRES(lock_);
 
-  FaultPlan plan_;
-  mutable std::mutex lock_;
-  std::mt19937_64 rng_;
-  std::vector<RuleState> states_;
-  std::unordered_map<std::string, u64> site_triggers_;
+  FaultPlan plan_;  // const after construction
+  mutable Mutex lock_;
+  std::mt19937_64 rng_ GUARDED_BY(lock_);
+  std::vector<RuleState> states_ GUARDED_BY(lock_);
+  std::unordered_map<std::string, u64> site_triggers_ GUARDED_BY(lock_);
 };
 
 }  // namespace scishuffle::testing

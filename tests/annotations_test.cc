@@ -1,0 +1,94 @@
+// Runtime semantics of the annotated primitives in io/annotations.h: the
+// wrappers must behave exactly like the std types they shim (the annotations
+// themselves are compile-time and exercised by the Clang -Wthread-safety CI
+// job). Carries the tsan label so the wrappers also run under TSan.
+#include "io/annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace scishuffle {
+namespace {
+
+TEST(AnnotationsTest, MacrosCompileAwayOrAttach) {
+  // Annotated declarations must be valid on every compiler. The class below
+  // uses each macro the tree relies on.
+  class Annotated {
+   public:
+    void set(int v) {
+      MutexLock lock(mu_);
+      setLocked(v);
+    }
+    int get() const {
+      MutexLock lock(mu_);
+      return value_;
+    }
+
+   private:
+    void setLocked(int v) REQUIRES(mu_) { value_ = v; }
+    mutable Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+  };
+  Annotated a;
+  a.set(7);
+  EXPECT_EQ(a.get(), 7);
+}
+
+TEST(AnnotationsTest, MutexProvidesExclusion) {
+  Mutex mu;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 8 * 10000);
+}
+
+TEST(AnnotationsTest, MutexLockSupportsMidScopeUnlockRelock) {
+  Mutex mu;
+  int value = 0;
+  {
+    MutexLock lock(mu);
+    value = 1;
+    lock.unlock();
+    {
+      // The mutex must be genuinely free while unlocked.
+      MutexLock inner(mu);
+      value = 2;
+    }
+    lock.lock();
+    EXPECT_EQ(value, 2);
+  }
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(AnnotationsTest, CondVarWakesExplicitWaitLoop) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(lock);
+    observed = 1;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+}  // namespace
+}  // namespace scishuffle

@@ -1,0 +1,90 @@
+// Tests for tools/lint: each seeded-violation fixture under
+// tools/lint/testdata must make exactly its check fail with a diagnostic
+// carrying file and line, and the real repo must pass every check (which is
+// also what the `lint.repo` ctest entry enforces at CI time).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lint.h"
+
+namespace lint = scishuffle::lint;
+
+namespace {
+
+std::filesystem::path fixture(const std::string& name) {
+  return std::filesystem::path(LINT_TESTDATA_DIR) / name;
+}
+
+testing::AssertionResult hasDiagnostic(const std::vector<lint::Diagnostic>& diags,
+                                       const std::string& fileSuffix,
+                                       const std::string& messagePiece) {
+  for (const auto& d : diags) {
+    if (d.file.size() >= fileSuffix.size() &&
+        d.file.compare(d.file.size() - fileSuffix.size(), fileSuffix.size(), fileSuffix) == 0 &&
+        d.message.find(messagePiece) != std::string::npos) {
+      if (d.line <= 0) {
+        return testing::AssertionFailure()
+               << "diagnostic for " << fileSuffix << " has no line number: "
+               << lint::formatDiagnostic(d);
+      }
+      return testing::AssertionSuccess();
+    }
+  }
+  std::ostringstream os;
+  for (const auto& d : diags) os << "  " << lint::formatDiagnostic(d) << "\n";
+  return testing::AssertionFailure() << "no diagnostic matching file=*" << fileSuffix
+                                     << " message~\"" << messagePiece << "\" in:\n"
+                                     << os.str();
+}
+
+TEST(LintCounters, MissingDocMappingIsReportedWithFileAndLine) {
+  const auto diags = lint::checkCounters(fixture("missing_counter"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/hadoop/counters.h", "GHOST_RECORDS"));
+  EXPECT_TRUE(hasDiagnostic(diags, "counters.h", "not documented in docs/OBSERVABILITY.md"));
+  EXPECT_EQ(diags[0].line, 6);  // the kGhostRecords declaration line
+}
+
+TEST(LintCounters, DuplicateReportNameIsReported) {
+  const auto diags = lint::checkCounters(fixture("duplicate_counter"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "counters.h", "mapped by both kMapOutputRecords"));
+}
+
+TEST(LintFormats, StaleDocVersionIsReportedAgainstTheDoc) {
+  const auto diags = lint::checkFormats(fixture("stale_version"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "docs/FORMATS.md", "u8(version=2)"));
+  EXPECT_TRUE(hasDiagnostic(diags, "docs/FORMATS.md", "u8(version=3)"));  // the expected value
+}
+
+TEST(LintSpans, UndocumentedSpanNameIsReported) {
+  const auto diags = lint::checkSpans(fixture("undocumented_span"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/hadoop/foo.cc", "mystery_span"));
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(LintFaultSites, UndocumentedSiteIsReported) {
+  const auto diags = lint::checkFaultSites(fixture("undocumented_site"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/testing/fault_injector.h", "shadow.site"));
+}
+
+TEST(LintMissingInputs, AbsentFilesProduceDiagnosticsNotCrashes) {
+  const auto root = fixture("does_not_exist");
+  EXPECT_FALSE(lint::checkCounters(root).empty());
+  EXPECT_FALSE(lint::checkFormats(root).empty());
+  EXPECT_FALSE(lint::checkSpans(root).empty());
+  EXPECT_FALSE(lint::checkFaultSites(root).empty());
+}
+
+// The real tree must hold every invariant — the same gate `lint.repo` runs.
+TEST(LintRepo, RealRepositoryIsClean) {
+  std::ostringstream os;
+  const int violations = lint::runAllChecks(SCISHUFFLE_REPO_ROOT, os);
+  EXPECT_EQ(violations, 0) << os.str();
+}
+
+}  // namespace

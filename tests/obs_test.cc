@@ -324,7 +324,7 @@ TEST(TelemetryTest, WriteJsonParses) {
     s.arg("materialized_bytes", 2048);
   }
   JobTelemetry t = telemetryFromSpans(recorder.snapshot());
-  t.counters["MAP_INPUT_RECORDS"] = 30;
+  t.counters["MAP_OUTPUT_RECORDS"] = 30;
   t.gauges["threads"] = 4;
 
   std::ostringstream os;
@@ -332,7 +332,7 @@ TEST(TelemetryTest, WriteJsonParses) {
   t.writeJson(w);
   const JsonValue v = JsonParser::parse(os.str());
   EXPECT_EQ(v.at("span_count").number, 1.0);
-  EXPECT_EQ(v.at("counters").at("MAP_INPUT_RECORDS").number, 30.0);
+  EXPECT_EQ(v.at("counters").at("MAP_OUTPUT_RECORDS").number, 30.0);
   EXPECT_EQ(v.at("gauges").at("threads").number, 4.0);
   ASSERT_EQ(v.at("histograms").array.size(), 2u);  // merge_pass_us + .materialized_bytes
 }

@@ -157,5 +157,52 @@ TEST(ShuffleServerTest, EmptySegmentsFlowThrough) {
   EXPECT_TRUE(got->segment.empty());
 }
 
+// Regression for the lock-discipline pass (PR 5): publish() used to read the
+// reducer-queue table before taking the lock when validating the segment
+// count. The validation must still reject mismatches now that it runs under
+// the lock, including while other publishers are racing.
+TEST(ShuffleServerTest, WrongSegmentCountIsRejectedUnderConcurrentPublishes) {
+  ShuffleServer server(4, 2);
+  std::vector<std::thread> publishers;
+  for (std::size_t m = 0; m < 3; ++m) {
+    publishers.emplace_back([&, m] { server.publish(m, segmentsFor(m, 2)); });
+  }
+  for (auto& t : publishers) t.join();
+  EXPECT_THROW(server.publish(3, segmentsFor(3, 5)), std::exception);  // 5 != 2 reducers
+  server.publish(3, segmentsFor(3, 2));  // the failed publish consumed no slot
+}
+
+// Regression for the lock-discipline pass: the overlap-accounting stats must
+// stay coherent while publishes and fetches race — every read goes through
+// the locked accessors (TSan verifies at runtime what -Wthread-safety proves
+// at compile time; this test carries the tsan label via its binary).
+TEST(ShuffleServerTest, StatsReadersRaceWithPublishersAndFetchers) {
+  constexpr std::size_t kMaps = 16;
+  ShuffleServer server(kMaps, 1);
+  std::atomic<bool> done{false};
+  std::thread statsReader([&] {
+    u64 lastSeenPublish = 0;
+    while (!done.load()) {
+      const u64 p = server.firstPublishUs();
+      // firstPublishUs is written once; once nonzero it never changes.
+      if (lastSeenPublish != 0) EXPECT_EQ(p, lastSeenPublish);
+      if (p != 0) lastSeenPublish = p;
+      server.lastFetchUs();
+      std::this_thread::yield();
+    }
+  });
+  std::thread publisher([&] {
+    for (std::size_t m = 0; m < kMaps; ++m) server.publish(m, segmentsFor(m, 1));
+  });
+  std::size_t fetchedCount = 0;
+  while (server.fetch(0).has_value()) ++fetchedCount;
+  publisher.join();
+  done.store(true);
+  statsReader.join();
+  EXPECT_EQ(fetchedCount, kMaps);
+  EXPECT_GE(server.lastFetchUs(), server.firstPublishUs());
+  EXPECT_NE(server.firstPublishUs(), 0u);
+}
+
 }  // namespace
 }  // namespace scishuffle::hadoop

@@ -1,0 +1,282 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace scishuffle::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct SourceFile {
+  std::string relPath;
+  std::vector<std::string> lines;
+};
+
+bool readLines(const fs::path& root, const std::string& relPath, std::vector<std::string>& out,
+               std::vector<Diagnostic>& diags) {
+  std::ifstream in(root / relPath);
+  if (!in.good()) {
+    diags.push_back({relPath, 0, "cannot read file (required by this lint check)"});
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) out.push_back(std::move(line));
+  return true;
+}
+
+std::string readAll(const fs::path& root, const std::string& relPath,
+                    std::vector<Diagnostic>& diags) {
+  std::vector<std::string> lines;
+  if (!readLines(root, relPath, lines, diags)) return {};
+  std::ostringstream os;
+  for (const auto& l : lines) os << l << '\n';
+  return os.str();
+}
+
+/// Every .h/.cc under root/src, with repo-relative paths, sorted for
+/// deterministic diagnostics.
+std::vector<SourceFile> loadSources(const fs::path& root, std::vector<Diagnostic>& diags) {
+  std::vector<SourceFile> files;
+  const fs::path srcDir = root / "src";
+  if (!fs::is_directory(srcDir)) {
+    diags.push_back({"src", 0, "source directory missing under lint root"});
+    return files;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(srcDir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    SourceFile f;
+    f.relPath = fs::relative(entry.path(), root).generic_string();
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) f.lines.push_back(std::move(line));
+    files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.relPath < b.relPath; });
+  return files;
+}
+
+struct NamedConstant {
+  std::string ident;  // kFooBar
+  std::string value;  // the string literal
+  int line = 0;
+};
+
+/// Parses `inline constexpr const char* kIdent = "value";` declarations.
+std::vector<NamedConstant> parseStringConstants(const std::vector<std::string>& lines) {
+  static const std::regex re(
+      R"re(inline\s+constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]+)"\s*;)re");
+  std::vector<NamedConstant> out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], m, re)) {
+      out.push_back({m[1].str(), m[2].str(), static_cast<int>(i + 1)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string formatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file;
+  if (d.line > 0) os << ":" << d.line;
+  os << ": error: " << d.message;
+  return os.str();
+}
+
+std::vector<Diagnostic> checkCounters(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string countersHeader = "src/hadoop/counters.h";
+  std::vector<std::string> lines;
+  if (!readLines(root, countersHeader, lines, diags)) return diags;
+  const std::string docs = readAll(root, "docs/OBSERVABILITY.md", diags);
+  if (docs.empty()) return diags;
+
+  const std::vector<NamedConstant> counters = parseStringConstants(lines);
+  if (counters.empty()) {
+    diags.push_back({countersHeader, 0,
+                     "no counter constants parsed; declaration syntax changed under the linter?"});
+    return diags;
+  }
+
+  // Exactly one report-name mapping: two constants must never share a string.
+  std::map<std::string, const NamedConstant*> byValue;
+  for (const auto& c : counters) {
+    const auto [it, inserted] = byValue.emplace(c.value, &c);
+    if (!inserted) {
+      diags.push_back({countersHeader, c.line,
+                       "counter name \"" + c.value + "\" is mapped by both " + it->second->ident +
+                           " and " + c.ident + " (report names must be unique)"});
+    }
+  }
+
+  const std::vector<SourceFile> sources = loadSources(root, diags);
+  for (const auto& c : counters) {
+    if (docs.find(c.value) == std::string::npos) {
+      diags.push_back({countersHeader, c.line,
+                       "counter " + c.ident + " (\"" + c.value +
+                           "\") is not documented in docs/OBSERVABILITY.md"});
+    }
+    bool referenced = false;
+    for (const auto& f : sources) {
+      if (f.relPath == countersHeader) continue;
+      for (const auto& l : f.lines) {
+        if (l.find(c.ident) != std::string::npos) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) {
+      diags.push_back({countersHeader, c.line,
+                       "counter " + c.ident + " (\"" + c.value +
+                           "\") is never referenced outside counters.h (dead counter; wire it "
+                           "up or remove it)"});
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> checkFormats(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string header = "src/compress/block_format.h";
+  std::vector<std::string> lines;
+  if (!readLines(root, header, lines, diags)) return diags;
+
+  // The authoritative constants.
+  static const std::regex magicRe(
+      R"(kBlockFrameMagic\[4\]\s*=\s*\{'(\w)',\s*'(\w)',\s*'(\w)',\s*'(\w)'\})");
+  static const std::regex versionRe(R"(kBlockFrameVersion\s*=\s*(\d+))");
+  std::string magic;
+  int version = -1;
+  int magicLine = 0;
+  int versionLine = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (magic.empty() && std::regex_search(lines[i], m, magicRe)) {
+      magic = m[1].str() + m[2].str() + m[3].str() + m[4].str();
+      magicLine = static_cast<int>(i + 1);
+    }
+    if (version < 0 && std::regex_search(lines[i], m, versionRe)) {
+      version = std::stoi(m[1].str());
+      versionLine = static_cast<int>(i + 1);
+    }
+  }
+  if (magic.empty()) {
+    diags.push_back({header, 0, "kBlockFrameMagic not found; grammar check cannot run"});
+    return diags;
+  }
+  if (version < 0) {
+    diags.push_back({header, 0, "kBlockFrameVersion not found; grammar check cannot run"});
+    return diags;
+  }
+  const std::string expected = "\"" + magic + "\" u8(version=" + std::to_string(version) + ")";
+
+  // Every grammar line mentioning the container — in docs/FORMATS.md and in
+  // the header's own file comment — must agree with the constants.
+  static const std::regex grammarRe(R"(("[A-Z0-9]{4}")\s+u8\(version=(\d+)\))");
+  const auto checkFile = [&](const std::string& relPath, const std::vector<std::string>& fileLines) {
+    int matches = 0;
+    for (std::size_t i = 0; i < fileLines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(fileLines[i], m, grammarRe)) continue;
+      ++matches;
+      const std::string found = m[1].str() + " u8(version=" + m[2].str() + ")";
+      if (found != expected) {
+        diags.push_back(
+            {relPath, static_cast<int>(i + 1),
+             "stream grammar says " + found + " but " + header + ":" +
+                 std::to_string(m[1].str() != "\"" + magic + "\"" ? magicLine : versionLine) +
+                 " defines " + expected});
+      }
+    }
+    if (matches == 0) {
+      diags.push_back({relPath, 0,
+                       "no `\"MAGC\" u8(version=N)` grammar line found; the SBF1 container must "
+                       "stay documented here"});
+    }
+  };
+
+  checkFile(header, lines);
+  std::vector<std::string> docLines;
+  if (readLines(root, "docs/FORMATS.md", docLines, diags)) {
+    checkFile("docs/FORMATS.md", docLines);
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> checkSpans(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string docs = readAll(root, "docs/OBSERVABILITY.md", diags);
+  if (docs.empty()) return diags;
+  const std::vector<SourceFile> sources = loadSources(root, diags);
+
+  // Instrumentation sites: `ScopedSpan span("name", ...)` (optionally through
+  // a named variable). The obs/ implementation files declare the class
+  // itself, so they are excluded.
+  static const std::regex spanRe(R"re(ScopedSpan(?:\s+\w+)?\s*\(\s*"([^"]+)")re");
+  for (const auto& f : sources) {
+    if (f.relPath == "src/obs/trace.h" || f.relPath == "src/obs/trace.cc") continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      std::smatch m;
+      std::string rest = f.lines[i];
+      while (std::regex_search(rest, m, spanRe)) {
+        const std::string name = m[1].str();
+        if (docs.find("`" + name + "`") == std::string::npos) {
+          diags.push_back({f.relPath, static_cast<int>(i + 1),
+                           "span \"" + name +
+                               "\" is not documented in docs/OBSERVABILITY.md's span taxonomy"});
+        }
+        rest = m.suffix();
+      }
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> checkFaultSites(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string header = "src/testing/fault_injector.h";
+  std::vector<std::string> lines;
+  if (!readLines(root, header, lines, diags)) return diags;
+  const std::string docs = readAll(root, "docs/FAULTS.md", diags);
+  if (docs.empty()) return diags;
+
+  const std::vector<NamedConstant> sites = parseStringConstants(lines);
+  if (sites.empty()) {
+    diags.push_back({header, 0,
+                     "no injection-site constants parsed; declaration syntax changed under the "
+                     "linter?"});
+    return diags;
+  }
+  for (const auto& s : sites) {
+    if (docs.find(s.value) == std::string::npos) {
+      diags.push_back({header, s.line,
+                       "injection site " + s.ident + " (\"" + s.value +
+                           "\") is not documented in docs/FAULTS.md"});
+    }
+  }
+  return diags;
+}
+
+int runAllChecks(const fs::path& root, std::ostream& os) {
+  std::vector<Diagnostic> all;
+  for (const auto& check : {checkCounters, checkFormats, checkSpans, checkFaultSites}) {
+    auto diags = check(root);
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  for (const auto& d : all) os << formatDiagnostic(d) << "\n";
+  return static_cast<int>(all.size());
+}
+
+}  // namespace scishuffle::lint

@@ -1,0 +1,51 @@
+// Repo-invariant linter for scishuffle (ctest label: lint).
+//
+// Generic tools prove generic properties; this tool checks the cross-file
+// contracts only this repo knows about — the same "exploit structure you
+// know statically" philosophy the paper applies to intermediate keys,
+// applied to our own sources and docs:
+//
+//   * counters   — every counter constant in src/hadoop/counters.h maps to
+//                  exactly one report name, is referenced by the runtime
+//                  (dead counters rot silently), and is documented in
+//                  docs/OBSERVABILITY.md.
+//   * formats    — the SBF1 magic/version constants in
+//                  src/compress/block_format.h match the grammar lines in
+//                  docs/FORMATS.md and the header's own file comment.
+//   * spans      — every ScopedSpan name emitted anywhere under src/ appears
+//                  in docs/OBSERVABILITY.md's span taxonomy.
+//   * sites      — every fault-injection site constant in
+//                  src/testing/fault_injector.h is documented in
+//                  docs/FAULTS.md.
+//
+// Each check takes the repo root, reads only the files it names, and returns
+// diagnostics carrying file:line so CI output is clickable. Header
+// self-containment probes are the CMake half of the lint suite (see
+// tools/lint/CMakeLists.txt).
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scishuffle::lint {
+
+struct Diagnostic {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based; 0 when the finding is file-level
+  std::string message;
+};
+
+/// "file:line: error: message" (file-level findings omit the line).
+std::string formatDiagnostic(const Diagnostic& d);
+
+std::vector<Diagnostic> checkCounters(const std::filesystem::path& root);
+std::vector<Diagnostic> checkFormats(const std::filesystem::path& root);
+std::vector<Diagnostic> checkSpans(const std::filesystem::path& root);
+std::vector<Diagnostic> checkFaultSites(const std::filesystem::path& root);
+
+/// Runs every check, prints diagnostics to `os`, returns the total count.
+int runAllChecks(const std::filesystem::path& root, std::ostream& os);
+
+}  // namespace scishuffle::lint

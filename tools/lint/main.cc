@@ -1,0 +1,23 @@
+// CLI for the repo-invariant linter: `scishuffle_lint [repo-root]`.
+// Prints `file:line: error: ...` diagnostics and exits nonzero when any
+// invariant is violated. Wired into ctest under the `lint` label; see
+// docs/STATIC_ANALYSIS.md for running it locally.
+#include <iostream>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path root = argc > 1 ? argv[1] : ".";
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "scishuffle_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+  const int count = scishuffle::lint::runAllChecks(root, std::cerr);
+  if (count > 0) {
+    std::cerr << "scishuffle_lint: " << count << " invariant violation"
+              << (count == 1 ? "" : "s") << " in " << root << "\n";
+    return 1;
+  }
+  std::cout << "scishuffle_lint: all repo invariants hold in " << root << "\n";
+  return 0;
+}

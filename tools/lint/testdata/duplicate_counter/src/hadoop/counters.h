@@ -1,0 +1,7 @@
+// Fixture: two constants map the same report name.
+#pragma once
+
+namespace counter {
+inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
+inline constexpr const char* kMapRecordsAgain = "MAP_OUTPUT_RECORDS";
+}  // namespace counter

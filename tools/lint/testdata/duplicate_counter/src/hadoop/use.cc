@@ -1,0 +1,3 @@
+// Fixture: references both constants so only the duplicate check fires.
+#include "counters.h"
+const char* uses[] = {counter::kMapOutputRecords, counter::kMapRecordsAgain};

@@ -1,0 +1,7 @@
+// Fixture: kGhostRecords has no entry in docs/OBSERVABILITY.md.
+#pragma once
+
+namespace counter {
+inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
+inline constexpr const char* kGhostRecords = "GHOST_RECORDS";
+}  // namespace counter

@@ -1,0 +1,3 @@
+// Fixture: references both counters so only the documentation check fires.
+#include "counters.h"
+const char* uses[] = {counter::kMapOutputRecords, counter::kGhostRecords};

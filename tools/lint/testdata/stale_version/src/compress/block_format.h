@@ -1,0 +1,8 @@
+// Fixture: the constants moved to v3 but docs/FORMATS.md still says v2.
+//
+//     stream := "SBF1" u8(version=3) block* vlong(-1) vlong(blockCount)
+//
+#pragma once
+
+inline constexpr unsigned char kBlockFrameMagic[4] = {'S', 'B', 'F', '1'};
+inline constexpr unsigned char kBlockFrameVersion = 3;

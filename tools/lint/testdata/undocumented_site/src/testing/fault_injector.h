@@ -1,0 +1,7 @@
+// Fixture: site "shadow.site" is missing from docs/FAULTS.md.
+#pragma once
+
+namespace site {
+inline constexpr const char* kDfsRead = "dfs.read";
+inline constexpr const char* kShadowSite = "shadow.site";
+}  // namespace site

@@ -1,0 +1,5 @@
+// Fixture: "mystery_span" is emitted but missing from the span taxonomy.
+void instrumented() {
+  obs::ScopedSpan a("documented_span", "shuffle");
+  obs::ScopedSpan b("mystery_span", "shuffle");
+}
