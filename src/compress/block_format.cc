@@ -1,14 +1,17 @@
 // Concurrency note: this file's parallelism is structured as fan-out over
 // futures — sealed blocks and decode-ahead frames are owned by exactly one
-// pool task, results are joined through std::future, and the only shared
-// mutable state is the relaxed `cpuUs_` accounting atomic. There is no mutex
-// to annotate; the thread-safety story is ownership transfer, checked
-// dynamically by the TSan CI job (docs/STATIC_ANALYSIS.md §coverage).
+// pool task, results are joined through std::future, and the shared mutable
+// state is the relaxed `cpuUs_` accounting atomic plus the process-wide
+// sharedBytePool(), which serializes internally behind its own annotated
+// Mutex (src/io/buffer_pool.h). There is no mutex to annotate here; the
+// thread-safety story is ownership transfer, checked dynamically by the TSan
+// CI job (docs/STATIC_ANALYSIS.md §coverage).
 #include "compress/block_format.h"
 
 #include <chrono>
 #include <string>
 
+#include "io/buffer_pool.h"
 #include "io/crc32.h"
 #include "io/primitives.h"
 #include "io/varint.h"
@@ -46,7 +49,14 @@ BlockCompressedWriter::Sealed BlockCompressedWriter::compressBlock(Bytes raw) co
   s.crc = crc32(raw);
   obs::ScopedSpan span("block_compress", "codec");
   const u64 start = nowUs();
-  s.compressed = codec_ != nullptr ? codec_->compress(raw) : std::move(raw);
+  if (codec_ != nullptr) {
+    s.compressed = codec_->compress(raw);
+    // The raw block's storage goes back to the shared pool for the next
+    // pending block (or a decode-side buffer); the pool locks internally.
+    sharedBytePool().release(std::move(raw));
+  } else {
+    s.compressed = std::move(raw);
+  }
   cpuUs_.fetch_add(nowUs() - start, std::memory_order_relaxed);
   span.arg("raw_bytes", s.rawLen);
   span.arg("compressed_bytes", s.compressed.size());
@@ -69,6 +79,11 @@ void BlockCompressedWriter::write(ByteSpan data) {
   check(!closed_, "write after close");
   rawBytes_ += data.size();
   while (!data.empty()) {
+    if (pending_.empty() && pending_.capacity() < blockBytes_) {
+      // seal() moved the previous block's storage away; start the next block
+      // on recycled capacity instead of growing a fresh vector.
+      pending_ = sharedBytePool().acquireRaw(blockBytes_);
+    }
     const std::size_t room = blockBytes_ - pending_.size();
     const std::size_t take = std::min(room, data.size());
     pending_.insert(pending_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(take));
@@ -225,6 +240,10 @@ void BlockDecodeSource::scheduleAhead() {
 
 bool BlockDecodeSource::advance() {
   if (exhausted_) return false;
+  // The fully consumed block's storage feeds the shared pool; decode-side
+  // buffers get recycled into the writer's pending blocks and vice versa.
+  sharedBytePool().release(std::move(current_));
+  current_.clear();
   if (ahead_.has_value()) {
     Bytes next = ahead_->get();  // rethrows decode errors from the pool
     ahead_.reset();

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
+#include <optional>
+#include <span>
 
 #include "compress/huffman.h"
 #include "compress/lz77.h"
 #include "io/bitio.h"
+#include "io/buffer_pool.h"
 #include "io/crc32.h"
 #include "io/primitives.h"
 #include "io/streams.h"
@@ -42,18 +46,43 @@ constexpr std::array<u8, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
                                            4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
 
-int lengthSymbol(u32 len) {
-  for (int i = 28; i >= 0; --i) {
-    if (len >= kLenBase[i]) return i;
+// Direct length → symbol and distance → symbol lookups replacing the
+// historical linear scans on every token (precomputed length/distance
+// symbol+extra-bits tables).
+constexpr std::array<u8, 259> kLengthSym = [] {
+  std::array<u8, 259> table{};
+  for (int i = 0; i < 29; ++i) {
+    const u32 lo = kLenBase[static_cast<std::size_t>(i)];
+    const u32 hi = i == 28 ? 258 : kLenBase[static_cast<std::size_t>(i) + 1] - 1u;
+    for (u32 len = lo; len <= hi; ++len) table[len] = static_cast<u8>(i);
   }
-  throw FormatError("bad match length");
-}
+  return table;
+}();
 
-int distanceSymbol(u32 dist) {
-  for (int i = 29; i >= 0; --i) {
-    if (dist >= kDistBase[i]) return i;
+// zlib-style split index: distances 1..256 map directly, larger ones through
+// a 128-distance-granular upper half.
+constexpr std::array<u8, 512> kDistSym = [] {
+  std::array<u8, 512> table{};
+  for (int s = 0; s < 30; ++s) {
+    const u32 lo = kDistBase[static_cast<std::size_t>(s)];
+    const u32 hi = s == 29 ? 32768 : kDistBase[static_cast<std::size_t>(s) + 1] - 1u;
+    for (u32 d = lo; d <= hi; ++d) {
+      const u32 i = d - 1;
+      if (i < 256) {
+        table[i] = static_cast<u8>(s);
+      } else {
+        table[256 + (i >> 7)] = static_cast<u8>(s);
+      }
+    }
   }
-  throw FormatError("bad match distance");
+  return table;
+}();
+
+u32 lengthSymbol(u32 len) { return kLengthSym[len]; }
+
+u32 distanceSymbol(u32 dist) {
+  const u32 i = dist - 1;
+  return i < 256 ? kDistSym[i] : kDistSym[256 + (i >> 7)];
 }
 
 /// RFC 1951 fixed (static) code lengths.
@@ -75,6 +104,26 @@ std::vector<u8> staticLitLengths() {
 
 std::vector<u8> staticDistLengths() { return std::vector<u8>(kNumDist, 5); }
 
+const huffman::Encoder& staticLitEncoder() {
+  static const huffman::Encoder* enc = new huffman::Encoder(staticLitLengths());
+  return *enc;
+}
+
+const huffman::Encoder& staticDistEncoder() {
+  static const huffman::Encoder* enc = new huffman::Encoder(staticDistLengths());
+  return *enc;
+}
+
+const huffman::Decoder& staticLitDecoder() {
+  static const huffman::Decoder* dec = new huffman::Decoder(staticLitLengths());
+  return *dec;
+}
+
+const huffman::Decoder& staticDistDecoder() {
+  static const huffman::Decoder* dec = new huffman::Decoder(staticDistLengths());
+  return *dec;
+}
+
 void writeBlockHeader(BitWriter& bw, const std::vector<u8>& litLengths,
                       const std::vector<u8>& distLengths) {
   std::vector<u8> all(litLengths);
@@ -84,7 +133,7 @@ void writeBlockHeader(BitWriter& bw, const std::vector<u8>& litLengths,
   huffman::writeCompressedLengths(bw, all);
 }
 
-std::pair<std::vector<u8>, std::vector<u8>> readBlockHeader(BitReader& br) {
+std::pair<std::vector<u8>, std::vector<u8>> readBlockHeader(BitSpanReader& br) {
   const std::size_t numLit = br.readBits(6) + 257;
   const std::size_t numDist = br.readBits(6) + 1;
   checkFormat(numLit <= kNumLitLen && numDist <= kNumDist, "bad table sizes");
@@ -93,54 +142,75 @@ std::pair<std::vector<u8>, std::vector<u8>> readBlockHeader(BitReader& br) {
           std::vector<u8>(all.begin() + static_cast<std::ptrdiff_t>(numLit), all.end())};
 }
 
-struct BlockPlan {
-  std::span<const lz77::Token> tokens;
-  ByteSpan raw;  // original bytes covered by these tokens (for stored blocks)
-  std::vector<u8> litLengths;
-  std::vector<u8> distLengths;
-};
-
-/// Writes the token payload under the given code tables.
-void writeTokens(BitWriter& bw, const BlockPlan& plan) {
-  const huffman::Encoder litEnc(plan.litLengths);
-  const huffman::Encoder distEnc(plan.distLengths);
-  for (const auto& t : plan.tokens) {
+/// Writes the token payload: one batched writeBits per field group (Huffman
+/// code and extra bits together), using the encoders' pre-reversed codes.
+void writeTokens(BitWriter& bw, std::span<const lz77::Token> tokens, const huffman::Encoder& lit,
+                 const huffman::Encoder& dist) {
+  for (const auto& t : tokens) {
     if (t.length == 0) {
-      litEnc.encode(bw, t.literal);
+      bw.writeBits(lit.reversedCode(t.literal), lit.codeLength(t.literal));
     } else {
-      const int ls = lengthSymbol(t.length);
-      litEnc.encode(bw, static_cast<u32>(257 + ls));
-      bw.writeBits(t.length - kLenBase[ls], kLenExtra[ls]);
-      const int ds = distanceSymbol(t.distance);
-      distEnc.encode(bw, static_cast<u32>(ds));
-      bw.writeBits(t.distance - kDistBase[ds], kDistExtra[ds]);
+      const u32 ls = lengthSymbol(t.length);
+      const u32 sym = 257 + ls;
+      u32 bits = lit.reversedCode(sym);
+      int count = lit.codeLength(sym);
+      bits |= (t.length - kLenBase[ls]) << count;  // code <= 15 bits + extra <= 5
+      count += kLenExtra[ls];
+      bw.writeBits(bits, count);
+
+      const u32 ds = distanceSymbol(t.distance);
+      u32 dbits = dist.reversedCode(ds);
+      int dcount = dist.codeLength(ds);
+      dbits |= (t.distance - kDistBase[ds]) << dcount;  // code <= 15 + extra <= 13
+      dcount += kDistExtra[ds];
+      bw.writeBits(dbits, dcount);
     }
   }
-  litEnc.encode(bw, 256);
+  bw.writeBits(lit.reversedCode(256), lit.codeLength(256));
 }
 
-/// Exact bit cost of a token payload under given code lengths.
-u64 payloadBits(const BlockPlan& plan) {
-  u64 bits = plan.litLengths[256];
-  for (const auto& t : plan.tokens) {
-    if (t.length == 0) {
-      bits += plan.litLengths[t.literal];
-    } else {
-      const int ls = lengthSymbol(t.length);
-      bits += plan.litLengths[static_cast<std::size_t>(257 + ls)] + kLenExtra[ls];
-      const int ds = distanceSymbol(t.distance);
-      bits += plan.distLengths[static_cast<std::size_t>(ds)] + kDistExtra[ds];
-    }
+/// Exact bit cost of a token payload under given code lengths, computed from
+/// the block's symbol frequencies instead of a pass over every token.
+u64 payloadBits(const std::vector<u8>& litLengths, const std::vector<u8>& distLengths,
+                const std::vector<u64>& litFreq, const std::vector<u64>& distFreq) {
+  u64 bits = 0;
+  for (std::size_t s = 0; s < kNumLitLen; ++s) {
+    const u64 extra = s >= 257 ? kLenExtra[s - 257] : 0;
+    bits += litFreq[s] * (litLengths[s] + extra);
+  }
+  for (std::size_t d = 0; d < kNumDist; ++d) {
+    bits += distFreq[d] * (distLengths[d] + kDistExtra[d]);
   }
   return bits;
 }
 
 /// Bit cost of the dynamic header (measured by writing it to a null sink).
-u64 dynamicHeaderBits(const BlockPlan& plan) {
+u64 dynamicHeaderBits(const std::vector<u8>& litLengths, const std::vector<u8>& distLengths) {
   NullSink null;
   BitWriter bw(null);
-  writeBlockHeader(bw, plan.litLengths, plan.distLengths);
+  writeBlockHeader(bw, litLengths, distLengths);
   return bw.bitsWritten();
+}
+
+/// Per-worker recycled token vectors for the pool-parallel spill path.
+VectorPool<lz77::Token>& tokenPool() {
+  static VectorPool<lz77::Token>* pool = new VectorPool<lz77::Token>(16);
+  return *pool;
+}
+
+/// Appends `len` bytes starting `dist` back from the end of `out`.
+void copyMatch(Bytes& out, u32 dist, u32 len) {
+  const std::size_t at = out.size();
+  out.resize(at + len);
+  u8* dst = out.data() + at;
+  const u8* src = dst - dist;
+  if (dist == 1) {
+    std::memset(dst, *src, len);
+  } else if (dist >= len) {
+    std::memcpy(dst, src, len);
+  } else {
+    for (u32 i = 0; i < len; ++i) dst[i] = src[i];  // overlapping run
+  }
 }
 
 }  // namespace
@@ -152,11 +222,13 @@ Bytes DeflateCodec::compress(ByteSpan data) const {
   writeU64(sink, data.size());
   writeU32(sink, crc32(data));
 
-  const auto tokens = lz77::parse(data, options_);
+  auto tokenLease = tokenPool().lease();
+  std::vector<lz77::Token>& tokens = tokenLease.get();
+  lz77::parse(data, options_, tokens);
   BitWriter bw(sink);
 
-  const auto staticLit = staticLitLengths();
-  const auto staticDist = staticDistLengths();
+  std::vector<u64> litFreq(kNumLitLen, 0);
+  std::vector<u64> distFreq(kNumDist, 0);
 
   std::size_t start = 0;
   std::size_t rawStart = 0;
@@ -165,26 +237,22 @@ Bytes DeflateCodec::compress(ByteSpan data) const {
     const bool final = end == tokens.size();
     bw.writeBits(final ? 1 : 0, 1);
 
-    // Original byte extent of this token range (for the stored option).
-    std::size_t rawLen = 0;
-    for (std::size_t i = start; i < end; ++i) {
-      rawLen += tokens[i].length == 0 ? 1 : tokens[i].length;
-    }
+    const auto blockTokens = std::span<const lz77::Token>(tokens).subspan(start, end - start);
 
-    BlockPlan plan;
-    plan.tokens = std::span<const lz77::Token>(tokens).subspan(start, end - start);
-    plan.raw = data.subspan(rawStart, rawLen);
-
-    // Dynamic tables from block-local frequencies.
-    std::vector<u64> litFreq(kNumLitLen, 0);
-    std::vector<u64> distFreq(kNumDist, 0);
+    // One pass: block-local symbol frequencies and the original byte extent
+    // of this token range (for the stored option).
+    std::fill(litFreq.begin(), litFreq.end(), u64{0});
+    std::fill(distFreq.begin(), distFreq.end(), u64{0});
     litFreq[256] = 1;  // end-of-block
-    for (const auto& t : plan.tokens) {
+    std::size_t rawLen = 0;
+    for (const auto& t : blockTokens) {
       if (t.length == 0) {
         ++litFreq[t.literal];
+        ++rawLen;
       } else {
         ++litFreq[257 + static_cast<std::size_t>(lengthSymbol(t.length))];
         ++distFreq[static_cast<std::size_t>(distanceSymbol(t.distance))];
+        rawLen += t.length;
       }
     }
     // The distance table must have at least one code or the header Huffman
@@ -192,16 +260,15 @@ Bytes DeflateCodec::compress(ByteSpan data) const {
     if (std::all_of(distFreq.begin(), distFreq.end(), [](u64 f) { return f == 0; })) {
       distFreq[0] = 1;
     }
-    BlockPlan dynamicPlan = plan;
-    dynamicPlan.litLengths = huffman::codeLengths(litFreq, kMaxCodeBits);
-    dynamicPlan.distLengths = huffman::codeLengths(distFreq, kMaxCodeBits);
-    BlockPlan staticPlan = plan;
-    staticPlan.litLengths = staticLit;
-    staticPlan.distLengths = staticDist;
+    const auto dynLitLengths = huffman::codeLengths(litFreq, kMaxCodeBits);
+    const auto dynDistLengths = huffman::codeLengths(distFreq, kMaxCodeBits);
 
     // Pick the smallest of stored / static / dynamic (RFC 1951's strategy).
-    const u64 dynamicBits = 2 + dynamicHeaderBits(dynamicPlan) + payloadBits(dynamicPlan);
-    const u64 staticBits = 2 + payloadBits(staticPlan);
+    const u64 dynamicBits = 2 + dynamicHeaderBits(dynLitLengths, dynDistLengths) +
+                            payloadBits(dynLitLengths, dynDistLengths, litFreq, distFreq);
+    const u64 staticBits =
+        2 + payloadBits(staticLitEncoder().lengths(), staticDistEncoder().lengths(), litFreq,
+                        distFreq);
     const u64 storedBits = 2 + 7 /* worst-case alignment */ + 32 + 8 * static_cast<u64>(rawLen);
 
     if (storedBits < dynamicBits && storedBits < staticBits) {
@@ -209,14 +276,16 @@ Bytes DeflateCodec::compress(ByteSpan data) const {
       bw.alignToByte();
       sink.write(Bytes{static_cast<u8>(rawLen >> 24), static_cast<u8>(rawLen >> 16),
                        static_cast<u8>(rawLen >> 8), static_cast<u8>(rawLen)});
-      sink.write(plan.raw);
+      sink.write(data.subspan(rawStart, rawLen));
     } else if (staticBits <= dynamicBits) {
       bw.writeBits(kBlockStatic, 2);
-      writeTokens(bw, staticPlan);
+      writeTokens(bw, blockTokens, staticLitEncoder(), staticDistEncoder());
     } else {
       bw.writeBits(kBlockDynamic, 2);
-      writeBlockHeader(bw, dynamicPlan.litLengths, dynamicPlan.distLengths);
-      writeTokens(bw, dynamicPlan);
+      writeBlockHeader(bw, dynLitLengths, dynDistLengths);
+      const huffman::Encoder litEnc(dynLitLengths);
+      const huffman::Encoder distEnc(dynDistLengths);
+      writeTokens(bw, blockTokens, litEnc, distEnc);
     }
 
     start = end;
@@ -236,7 +305,7 @@ Bytes DeflateCodec::decompress(ByteSpan data) const {
   // The header is untrusted until the CRC check passes; cap the hint so a
   // corrupt size field cannot trigger a huge allocation.
   out.reserve(static_cast<std::size_t>(std::min<u64>(originalSize, 1u << 20)));
-  BitReader br(source);
+  BitSpanReader br(data.subspan(16));
   bool final = false;
   while (!final) {
     final = br.readBits(1) != 0;
@@ -245,29 +314,33 @@ Bytes DeflateCodec::decompress(ByteSpan data) const {
     if (blockType == kBlockStored) {
       br.alignToByte();
       u8 lenBytes[4];
-      source.readExact(MutableByteSpan(lenBytes, 4));
+      br.readAligned(MutableByteSpan(lenBytes, 4));
       const u32 len = (static_cast<u32>(lenBytes[0]) << 24) | (static_cast<u32>(lenBytes[1]) << 16) |
                       (static_cast<u32>(lenBytes[2]) << 8) | lenBytes[3];
       checkFormat(out.size() + len <= originalSize, "stored block overruns size");
       const std::size_t at = out.size();
       out.resize(at + len);
-      source.readExact(MutableByteSpan(out.data() + at, len));
+      br.readAligned(MutableByteSpan(out.data() + at, len));
       continue;
     }
 
-    std::vector<u8> litLengths;
-    std::vector<u8> distLengths;
+    const huffman::Decoder* litDec = nullptr;
+    const huffman::Decoder* distDec = nullptr;
+    std::optional<huffman::Decoder> dynLitDec;
+    std::optional<huffman::Decoder> dynDistDec;
     if (blockType == kBlockStatic) {
-      litLengths = staticLitLengths();
-      distLengths = staticDistLengths();
+      litDec = &staticLitDecoder();
+      distDec = &staticDistDecoder();
     } else {
       checkFormat(blockType == kBlockDynamic, "bad block type");
-      std::tie(litLengths, distLengths) = readBlockHeader(br);
+      const auto [litLengths, distLengths] = readBlockHeader(br);
+      dynLitDec.emplace(litLengths);
+      dynDistDec.emplace(distLengths);
+      litDec = &*dynLitDec;
+      distDec = &*dynDistDec;
     }
-    const huffman::Decoder litDec(litLengths);
-    const huffman::Decoder distDec(distLengths);
     for (;;) {
-      const u32 sym = litDec.decode(br);
+      const u32 sym = litDec->decode(br);
       if (sym < 256) {
         out.push_back(static_cast<u8>(sym));
       } else if (sym == 256) {
@@ -276,12 +349,11 @@ Bytes DeflateCodec::decompress(ByteSpan data) const {
         const std::size_t ls = sym - 257;
         checkFormat(ls < kLenBase.size(), "bad length symbol");
         const u32 len = kLenBase[ls] + br.readBits(kLenExtra[ls]);
-        const u32 ds = distDec.decode(br);
+        const u32 ds = distDec->decode(br);
         checkFormat(ds < kDistBase.size(), "bad distance symbol");
         const u32 dist = kDistBase[ds] + br.readBits(kDistExtra[ds]);
         checkFormat(dist <= out.size(), "distance beyond output");
-        const std::size_t from = out.size() - dist;
-        for (u32 i = 0; i < len; ++i) out.push_back(out[from + i]);
+        copyMatch(out, dist, len);
       }
     }
   }

@@ -7,15 +7,29 @@ namespace scishuffle::huffman {
 
 namespace {
 
-/// An item in the package-merge lists: a weight plus the multiset of leaf
-/// symbols it covers. Symbol counts are small (n <= a few hundred, depth <=
-/// ~20) so explicit symbol lists are cheap and keep the algorithm direct.
-struct Item {
-  u64 weight = 0;
-  std::vector<u16> symbols;
+/// Package-merge works over items that are either leaves (one symbol) or
+/// packages (pairs of lower-level items). The historical implementation
+/// carried an explicit symbol multiset per item, which allocated a vector
+/// per package per level; items are now references into an arena of binary
+/// nodes and the symbol counts are recovered by one traversal at the end.
+struct Node {
+  i32 leaf = -1;  // symbol index, or -1 for a package
+  u32 left = 0;   // children (arena indices), valid when leaf < 0
+  u32 right = 0;
 };
 
-bool weightLess(const Item& a, const Item& b) { return a.weight < b.weight; }
+struct Ref {
+  u64 weight = 0;
+  u32 node = 0;
+};
+
+bool weightLess(const Ref& a, const Ref& b) { return a.weight < b.weight; }
+
+u32 reverseBits(u32 code, int length) {
+  u32 reversed = 0;
+  for (int i = 0; i < length; ++i) reversed = (reversed << 1) | ((code >> i) & 1u);
+  return reversed;
+}
 
 }  // namespace
 
@@ -23,46 +37,65 @@ std::vector<u8> codeLengths(const std::vector<u64>& freqs, int maxLength) {
   const std::size_t n = freqs.size();
   std::vector<u8> lengths(n, 0);
 
-  std::vector<Item> leaves;
+  std::vector<Node> arena;
+  std::vector<Ref> leaves;
   for (std::size_t s = 0; s < n; ++s) {
-    if (freqs[s] > 0) leaves.push_back(Item{freqs[s], {static_cast<u16>(s)}});
+    if (freqs[s] > 0) {
+      arena.push_back(Node{static_cast<i32>(s), 0, 0});
+      leaves.push_back(Ref{freqs[s], static_cast<u32>(arena.size() - 1)});
+    }
   }
   if (leaves.empty()) return lengths;
   if (leaves.size() == 1) {
-    lengths[leaves[0].symbols[0]] = 1;
+    lengths[static_cast<std::size_t>(arena[0].leaf)] = 1;
     return lengths;
   }
   check(static_cast<std::size_t>(1) << maxLength >= leaves.size(),
         "maxLength too small for alphabet");
 
-  std::sort(leaves.begin(), leaves.end(), weightLess);
+  // Sort by (weight, symbol): ties resolve to the lower symbol, keeping the
+  // construction deterministic across standard libraries.
+  std::sort(leaves.begin(), leaves.end(), [&](const Ref& a, const Ref& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return arena[a.node].leaf < arena[b.node].leaf;
+  });
 
   // Package-merge: build L lists; list[l] = merge(leaves, packages(list[l-1])).
-  std::vector<Item> current = leaves;
+  std::vector<Ref> current = leaves;
+  std::vector<Ref> packages;
+  std::vector<Ref> merged;
   for (int level = 2; level <= maxLength; ++level) {
-    std::vector<Item> packages;
+    packages.clear();
     packages.reserve(current.size() / 2);
     for (std::size_t i = 0; i + 1 < current.size(); i += 2) {
-      Item pkg;
-      pkg.weight = current[i].weight + current[i + 1].weight;
-      pkg.symbols = current[i].symbols;
-      pkg.symbols.insert(pkg.symbols.end(), current[i + 1].symbols.begin(),
-                         current[i + 1].symbols.end());
-      packages.push_back(std::move(pkg));
+      arena.push_back(Node{-1, current[i].node, current[i + 1].node});
+      packages.push_back(
+          Ref{current[i].weight + current[i + 1].weight, static_cast<u32>(arena.size() - 1)});
     }
-    std::vector<Item> merged;
+    merged.clear();
     merged.reserve(leaves.size() + packages.size());
     std::merge(leaves.begin(), leaves.end(), packages.begin(), packages.end(),
                std::back_inserter(merged), weightLess);
-    current = std::move(merged);
+    std::swap(current, merged);
   }
 
   // The first 2n-2 items of the final list define the code: each occurrence
   // of a symbol adds one to its code length.
   const std::size_t take = 2 * leaves.size() - 2;
   check(current.size() >= take, "package-merge underflow");
+  std::vector<u32> stack;
   for (std::size_t i = 0; i < take; ++i) {
-    for (const u16 s : current[i].symbols) ++lengths[s];
+    stack.push_back(current[i].node);
+    while (!stack.empty()) {
+      const Node& node = arena[stack.back()];
+      stack.pop_back();
+      if (node.leaf >= 0) {
+        ++lengths[static_cast<std::size_t>(node.leaf)];
+      } else {
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
   }
   return lengths;
 }
@@ -88,11 +121,10 @@ std::vector<u32> canonicalCodes(const std::vector<u8>& lengths) {
 }
 
 Encoder::Encoder(const std::vector<u8>& lengths)
-    : lengths_(lengths), codes_(canonicalCodes(lengths)) {}
-
-void Encoder::encode(BitWriter& out, u32 symbol) const {
-  check(symbol < lengths_.size() && lengths_[symbol] > 0, "symbol has no code");
-  out.writeCodeMsbFirst(codes_[symbol], lengths_[symbol]);
+    : lengths_(lengths), reversed_(canonicalCodes(lengths)) {
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] > 0) reversed_[s] = reverseBits(reversed_[s], lengths_[s]);
+  }
 }
 
 Decoder::Decoder(const std::vector<u8>& lengths) {
@@ -117,21 +149,25 @@ Decoder::Decoder(const std::vector<u8>& lengths) {
   for (std::size_t s = 0; s < lengths.size(); ++s) {
     if (lengths[s] > 0) symbols_[fill[lengths[s]]++] = static_cast<u32>(s);
   }
-  // Per-length symbol counts, reused during decode to bound code values.
-  // (Recomputed from firstIndex_ on the fly; nothing extra to store.)
-}
 
-u32 Decoder::decode(BitReader& in) const {
-  u32 code = 0;
-  for (int l = 1; l <= maxLen_; ++l) {
-    code = (code << 1) | in.readBit();
-    const u32 count = (l < maxLen_ ? firstIndex_[l + 1] : static_cast<u32>(symbols_.size())) -
-                      firstIndex_[l];
-    if (count > 0 && code >= firstCode_[l] && code - firstCode_[l] < count) {
-      return symbols_[firstIndex_[l] + (code - firstCode_[l])];
+  // Root table: for every code no longer than kRootBits, stamp its
+  // (symbol, length) into every table slot whose low `len` bits equal the
+  // code's LSB-first pattern. Symbols too wide for the packing (none of the
+  // codecs here come close) just take the slow path.
+  const int tableLen = std::min(maxLen_, kRootBits);
+  for (int l = 1; l <= tableLen; ++l) {
+    const u32 end = (l < maxLen_ ? firstIndex_[static_cast<std::size_t>(l) + 1]
+                                 : static_cast<u32>(symbols_.size()));
+    for (u32 i = firstIndex_[static_cast<std::size_t>(l)]; i < end; ++i) {
+      const u32 sym = symbols_[i];
+      if (sym >= (1u << 12)) continue;
+      const u32 codeAt = firstCode_[static_cast<std::size_t>(l)] +
+                         (i - firstIndex_[static_cast<std::size_t>(l)]);
+      const u32 rev = reverseBits(codeAt, l);
+      const u16 entry = static_cast<u16>((sym << 4) | static_cast<u32>(l));
+      for (u32 idx = rev; idx < table_.size(); idx += (1u << l)) table_[idx] = entry;
     }
   }
-  throw FormatError("invalid Huffman code");
 }
 
 namespace {
@@ -184,29 +220,8 @@ std::vector<CodeLenOp> runLengthEncode(const std::vector<u8>& lengths) {
   return ops;
 }
 
-}  // namespace
-
-void writeCompressedLengths(BitWriter& out, const std::vector<u8>& lengths) {
-  const auto ops = runLengthEncode(lengths);
-  std::vector<u64> clFreq(kNumCodeLenSymbols, 0);
-  for (const auto& op : ops) ++clFreq[op.symbol];
-  const auto clLengths = codeLengths(clFreq, kMaxCodeLenBits);
-  const Encoder clEnc(clLengths);
-
-  std::size_t hclen = kNumCodeLenSymbols;
-  while (hclen > 4 && clLengths[kCodeLenOrder[hclen - 1]] == 0) --hclen;
-  out.writeBits(static_cast<u32>(hclen - 4), 4);
-  for (std::size_t i = 0; i < hclen; ++i) out.writeBits(clLengths[kCodeLenOrder[i]], 3);
-
-  for (const auto& op : ops) {
-    clEnc.encode(out, op.symbol);
-    if (op.symbol == 16) out.writeBits(op.extra, 2);
-    if (op.symbol == 17) out.writeBits(op.extra, 3);
-    if (op.symbol == 18) out.writeBits(op.extra, 7);
-  }
-}
-
-std::vector<u8> readCompressedLengths(BitReader& in, std::size_t count) {
+template <typename Reader>
+std::vector<u8> readCompressedLengthsImpl(Reader& in, std::size_t count) {
   const std::size_t hclen = in.readBits(4) + 4;
   checkFormat(hclen <= kNumCodeLenSymbols, "bad code-length count");
   std::vector<u8> clLengths(kNumCodeLenSymbols, 0);
@@ -235,6 +250,36 @@ std::vector<u8> readCompressedLengths(BitReader& in, std::size_t count) {
   }
   checkFormat(lengths.size() == count, "code length overflow");
   return lengths;
+}
+
+}  // namespace
+
+void writeCompressedLengths(BitWriter& out, const std::vector<u8>& lengths) {
+  const auto ops = runLengthEncode(lengths);
+  std::vector<u64> clFreq(kNumCodeLenSymbols, 0);
+  for (const auto& op : ops) ++clFreq[op.symbol];
+  const auto clLengths = codeLengths(clFreq, kMaxCodeLenBits);
+  const Encoder clEnc(clLengths);
+
+  std::size_t hclen = kNumCodeLenSymbols;
+  while (hclen > 4 && clLengths[kCodeLenOrder[hclen - 1]] == 0) --hclen;
+  out.writeBits(static_cast<u32>(hclen - 4), 4);
+  for (std::size_t i = 0; i < hclen; ++i) out.writeBits(clLengths[kCodeLenOrder[i]], 3);
+
+  for (const auto& op : ops) {
+    clEnc.encode(out, op.symbol);
+    if (op.symbol == 16) out.writeBits(op.extra, 2);
+    if (op.symbol == 17) out.writeBits(op.extra, 3);
+    if (op.symbol == 18) out.writeBits(op.extra, 7);
+  }
+}
+
+std::vector<u8> readCompressedLengths(BitReader& in, std::size_t count) {
+  return readCompressedLengthsImpl(in, count);
+}
+
+std::vector<u8> readCompressedLengths(BitSpanReader& in, std::size_t count) {
+  return readCompressedLengthsImpl(in, count);
 }
 
 }  // namespace scishuffle::huffman

@@ -24,6 +24,8 @@ struct Token {
 struct ParseOptions {
   int max_chain_length = 128;  // hash-chain probes per position
   bool lazy = true;            // defer a match if the next position matches longer
+  int good_match = 128;        // stop chain-walking once a match this long is found
+                               // (zlib's nice_length early exit)
 
   /// zlib-style presets: level in [1, 9].
   static ParseOptions forLevel(int level);
@@ -31,6 +33,10 @@ struct ParseOptions {
 
 /// Greedy-with-lazy-evaluation parse of `data` into tokens.
 std::vector<Token> parse(ByteSpan data, const ParseOptions& options = {});
+
+/// As above, but appends into a caller-owned (typically pooled) vector,
+/// avoiding a token-vector allocation per block.
+void parse(ByteSpan data, const ParseOptions& options, std::vector<Token>& out);
 
 /// Expands a token stream back into bytes (used by tests; the deflate decoder
 /// inlines the same logic).

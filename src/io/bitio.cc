@@ -4,20 +4,19 @@
 
 namespace scishuffle {
 
-void BitWriter::writeBits(u32 bits, int count) {
-  check(count >= 0 && count <= 32, "bit count out of range");
-  bitsWritten_ += static_cast<u64>(count);
-  while (count > 0) {
-    const int take = std::min(count, 8 - accBits_);
-    acc_ |= (bits & ((1u << take) - 1u)) << accBits_;
-    accBits_ += take;
-    bits >>= take;
-    count -= take;
-    if (accBits_ == 8) {
-      sink_->writeByte(static_cast<u8>(acc_));
-      acc_ = 0;
-      accBits_ = 0;
-    }
+void BitWriter::spillAccBytes() {
+  while (accBits_ >= 8) {
+    if (bufLen_ == kBufSize) flushBuf();
+    buf_[bufLen_++] = static_cast<u8>(acc_);
+    acc_ >>= 8;
+    accBits_ -= 8;
+  }
+}
+
+void BitWriter::flushBuf() {
+  if (bufLen_ > 0) {
+    sink_->write(ByteSpan(buf_, bufLen_));
+    bufLen_ = 0;
   }
 }
 
@@ -30,12 +29,15 @@ void BitWriter::writeCodeMsbFirst(u32 code, int length) {
 }
 
 void BitWriter::alignToByte() {
+  spillAccBytes();
   if (accBits_ > 0) {
-    sink_->writeByte(static_cast<u8>(acc_));
-    acc_ = 0;
+    if (bufLen_ == kBufSize) flushBuf();
+    buf_[bufLen_++] = static_cast<u8>(acc_);
     bitsWritten_ += static_cast<u64>(8 - accBits_);
+    acc_ = 0;
     accBits_ = 0;
   }
+  flushBuf();
 }
 
 u32 BitReader::readBits(int count) {

@@ -1,0 +1,13 @@
+#include "io/buffer_pool.h"
+
+namespace scishuffle {
+
+VectorPool<u8>& sharedBytePool() {
+  // Sized for the default spill configuration: a handful of 256 KiB blocks
+  // in flight per pool worker. Leaked intentionally (never destroyed) so
+  // pool-thread teardown order cannot race the free list.
+  static VectorPool<u8>* pool = new VectorPool<u8>(32, std::size_t{1} << 24);
+  return *pool;
+}
+
+}  // namespace scishuffle

@@ -1,0 +1,121 @@
+// Bounded free-lists of reusable std::vector buffers for the pool-parallel
+// compression path (see docs/PERFORMANCE.md).
+//
+// Every 256 KiB spill block used to allocate (and fault in) fresh vectors for
+// the pending block, the LZ77 token stream, and the hash-chain scratch; under
+// a ThreadPool those allocations ping-pong between threads and glibc answers
+// with mmap/munmap churn. A VectorPool recycles the backing storage instead:
+// acquire() hands back a cleared vector with its old capacity intact, and the
+// RAII Lease returns it on scope exit. The free list is bounded both in entry
+// count and per-entry capacity so a one-off giant buffer cannot pin memory.
+//
+// Thread safety: the free list is guarded by an annotated Mutex (the PR 5
+// standing requirement — src/io/annotations.h); all public methods lock, so a
+// single pool may be shared by every worker in a ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "io/annotations.h"
+#include "io/common.h"
+
+namespace scishuffle {
+
+template <typename T>
+class VectorPool {
+ public:
+  struct Stats {
+    u64 acquires = 0;  // total acquire/acquireRaw calls
+    u64 reuses = 0;    // acquires served from the free list
+    u64 returns = 0;   // buffers accepted back (not dropped by the caps)
+  };
+
+  /// `maxEntries` bounds the free list; `maxEntryElements` drops returned
+  /// buffers whose capacity grew beyond it (keeps a pathological block from
+  /// pinning memory forever).
+  explicit VectorPool(std::size_t maxEntries = 16,
+                      std::size_t maxEntryElements = std::size_t{1} << 24)
+      : maxEntries_(maxEntries), maxEntryElements_(maxEntryElements) {}
+
+  VectorPool(const VectorPool&) = delete;
+  VectorPool& operator=(const VectorPool&) = delete;
+
+  /// A cleared vector, reusing pooled capacity when available. The result is
+  /// always size 0; `reserveHint` pre-reserves for callers that know their
+  /// block size.
+  std::vector<T> acquireRaw(std::size_t reserveHint = 0) {
+    std::vector<T> v;
+    {
+      MutexLock lock(mu_);
+      ++acquires_;
+      if (!free_.empty()) {
+        ++reuses_;
+        v = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    v.clear();
+    if (reserveHint > 0) v.reserve(reserveHint);
+    return v;
+  }
+
+  /// Returns a buffer's storage to the pool (contents are discarded).
+  void release(std::vector<T> v) {
+    if (v.capacity() == 0 || v.capacity() > maxEntryElements_) return;
+    v.clear();
+    MutexLock lock(mu_);
+    if (free_.size() >= maxEntries_) return;  // drop: list is full
+    ++returns_;
+    free_.push_back(std::move(v));
+  }
+
+  /// RAII wrapper: acquires on construction, releases on destruction.
+  class Lease {
+   public:
+    explicit Lease(VectorPool& pool, std::size_t reserveHint = 0)
+        : pool_(&pool), v_(pool.acquireRaw(reserveHint)) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(std::move(v_));
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    std::vector<T>& operator*() { return v_; }
+    std::vector<T>* operator->() { return &v_; }
+    std::vector<T>& get() { return v_; }
+
+   private:
+    VectorPool* pool_;
+    std::vector<T> v_;
+  };
+
+  Lease lease(std::size_t reserveHint = 0) { return Lease(*this, reserveHint); }
+
+  Stats stats() const {
+    MutexLock lock(mu_);
+    return Stats{acquires_, reuses_, returns_};
+  }
+
+  std::size_t freeListSize() const {
+    MutexLock lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const std::size_t maxEntries_;
+  const std::size_t maxEntryElements_;
+  mutable Mutex mu_;
+  std::vector<std::vector<T>> free_ GUARDED_BY(mu_);
+  u64 acquires_ GUARDED_BY(mu_) = 0;
+  u64 reuses_ GUARDED_BY(mu_) = 0;
+  u64 returns_ GUARDED_BY(mu_) = 0;
+};
+
+/// Process-wide pool of byte buffers shared by the block-framed spill path
+/// (pending blocks in BlockCompressedWriter, decoded blocks in
+/// BlockDecodeSource). Codec-internal scratch uses its own typed pools.
+VectorPool<u8>& sharedBytePool();
+
+}  // namespace scishuffle

@@ -23,4 +23,8 @@ class Crc32 {
 /// One-shot convenience.
 u32 crc32(ByteSpan data);
 
+/// One-shot bytewise reference implementation (the scalar ground truth for
+/// the slice-by-8 kernel; used by tests and bench_codec, not the hot path).
+u32 crc32Reference(ByteSpan data);
+
 }  // namespace scishuffle

@@ -1,5 +1,7 @@
 #include "transform/predictive_transform.h"
 
+#include "io/buffer_pool.h"
+
 namespace scishuffle::transform {
 
 namespace {
@@ -8,40 +10,29 @@ constexpr std::size_t kChunk = 64 * 1024;
 
 void PredictiveTransform::forward(ByteSource& in, ByteSink& out) const {
   StrideModel model(config_);
-  Bytes inBuf(kChunk);
-  Bytes outBuf;
-  outBuf.reserve(kChunk);
+  auto inBuf = sharedBytePool().lease(kChunk);
+  auto outBuf = sharedBytePool().lease(kChunk);
+  inBuf->resize(kChunk);
   for (;;) {
-    const std::size_t n = in.read(MutableByteSpan(inBuf.data(), inBuf.size()));
+    const std::size_t n = in.read(MutableByteSpan(inBuf->data(), inBuf->size()));
     if (n == 0) break;
-    outBuf.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      const u8 x = inBuf[i];
-      const auto prediction = model.predict();
-      outBuf.push_back(prediction ? static_cast<u8>(x - *prediction) : x);
-      model.consume(x);
-    }
-    out.write(outBuf);
+    outBuf->resize(n);
+    model.forwardBatch(inBuf->data(), outBuf->data(), n);
+    out.write(ByteSpan(outBuf->data(), n));
   }
 }
 
 void PredictiveTransform::inverse(ByteSource& in, ByteSink& out) const {
   StrideModel model(config_);
-  Bytes inBuf(kChunk);
-  Bytes outBuf;
-  outBuf.reserve(kChunk);
+  auto inBuf = sharedBytePool().lease(kChunk);
+  auto outBuf = sharedBytePool().lease(kChunk);
+  inBuf->resize(kChunk);
   for (;;) {
-    const std::size_t n = in.read(MutableByteSpan(inBuf.data(), inBuf.size()));
+    const std::size_t n = in.read(MutableByteSpan(inBuf->data(), inBuf->size()));
     if (n == 0) break;
-    outBuf.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      const u8 y = inBuf[i];
-      const auto prediction = model.predict();
-      const u8 x = prediction ? static_cast<u8>(y + *prediction) : y;
-      outBuf.push_back(x);
-      model.consume(x);
-    }
-    out.write(outBuf);
+    outBuf->resize(n);
+    model.inverseBatch(inBuf->data(), outBuf->data(), n);
+    out.write(ByteSpan(outBuf->data(), n));
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "io/simd.h"
+
 namespace scishuffle::transform {
 
 StrideModel::StrideModel(const TransformConfig& config) : config_(config) {
@@ -30,48 +32,58 @@ StrideModel::StrideModel(const TransformConfig& config) : config_(config) {
   }
   sequences_.assign(base, Sequence{});
   strides_.assign(static_cast<std::size_t>(maxStride) + 1, Stride{});
-  history_.assign(static_cast<std::size_t>(maxStride), 0);
+
+  histLen_ = static_cast<std::size_t>(maxStride);
+  hist2_.assign(histLen_ * 2, 0);
+  diff_.assign(histLen_, 0);
 
   // "The active set is initialized to be the full set."
   activeList_ = fullSet_;
+  phase_.assign(activeList_.size(), 0);
 }
 
 std::optional<u8> StrideModel::predict() const {
   u32 bestRun = 0;
   u8 bestPrediction = 0;
-  for (const int s : activeList_) {
-    const auto stride = static_cast<u64>(s);
-    if (offset_ < stride) continue;
-    const Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + offset_ % stride];
+  for (std::size_t i = 0; i < activeList_.size(); ++i) {
+    const int s = activeList_[i];
+    // Unseeded also covers offset_ < s: a sequence is only ever seeded at an
+    // offset >= s, and the same phase recurs every s bytes after that.
+    const Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + phase_[i]];
     if (!seq.seeded) continue;
     if (seq.run > bestRun) {
       bestRun = seq.run;
-      bestPrediction = static_cast<u8>(historyAt(offset_ - stride) + seq.delta);
+      bestPrediction = static_cast<u8>(prevByte(s) + seq.delta);
     }
   }
   if (bestRun > static_cast<u32>(config_.run_length_threshold)) return bestPrediction;
   return std::nullopt;
 }
 
-void StrideModel::consume(u8 original) {
+void StrideModel::updateActive(u8 original, const u8* diffs) {
+  const std::size_t kH = histLen_;
   for (std::size_t idx = 0; idx < activeList_.size();) {
     const int s = activeList_[idx];
     const auto strideLen = static_cast<u64>(s);
-    Stride& stride = strides_[static_cast<std::size_t>(s)];
     if (offset_ >= strideLen) {
-      const u8 prev = historyAt(offset_ - strideLen);
-      Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + offset_ % strideLen];
+      Stride& stride = strides_[static_cast<std::size_t>(s)];
+      Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + phase_[idx]];
+      // x[i] - x[i-s]; comparing differences is the same test as comparing
+      // the predicted byte (mod-256 arithmetic), and it is what the
+      // byteSubtractFrom sweep precomputes for every stride at once.
+      const u8 diff = diffs != nullptr ? diffs[kH - static_cast<std::size_t>(s)]
+                                       : static_cast<u8>(original - prevByte(s));
       if (!seq.seeded) {
         seq.seeded = true;
-        seq.delta = static_cast<u8>(original - prev);
+        seq.delta = diff;
         seq.run = 0;
       } else {
         ++stride.predictions;
-        if (static_cast<u8>(prev + seq.delta) == original) {
+        if (diff == seq.delta) {
           ++seq.run;
           ++stride.hits;
         } else {
-          seq.delta = static_cast<u8>(original - prev);
+          seq.delta = diff;
           seq.run = 0;
         }
       }
@@ -86,15 +98,86 @@ void StrideModel::consume(u8 original) {
         stride.deactivatedCycle = offset_ / static_cast<u64>(config_.selection_cycle_bytes);
         activeList_[idx] = activeList_.back();
         activeList_.pop_back();
+        phase_[idx] = phase_.back();
+        phase_.pop_back();
         continue;  // re-examine the element swapped into idx
       }
     }
+    // Advance the phase for the next byte offset.
+    const u32 next = phase_[idx] + 1;
+    phase_[idx] = next == static_cast<u32>(s) ? 0 : next;
     ++idx;
   }
+}
 
-  history_[offset_ % history_.size()] = original;
+void StrideModel::pushHistory(u8 original) {
+  hist2_[head_] = original;
+  hist2_[head_ + histLen_] = original;
   ++offset_;
+  ++head_;
+  if (head_ == histLen_) head_ = 0;
+}
+
+void StrideModel::consume(u8 original) {
+  updateActive(original, nullptr);
+  pushHistory(original);
   maybeRotateActiveSet();
+}
+
+void StrideModel::forwardBatch(const u8* in, u8* out, std::size_t n) {
+  const std::size_t kH = histLen_;
+  const auto threshold = static_cast<u32>(config_.run_length_threshold);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u8 x = in[i];
+    const u8* diffs = nullptr;
+    if (sweepWorthwhile()) {
+      simd::byteSubtractFrom(x, hist2_.data() + head_, diff_.data(), kH);
+      diffs = diff_.data();
+    }
+    // residual = x - (prev + delta) = diff - delta, so the predict scan can
+    // run off the sweep output without touching the history ring.
+    u32 bestRun = 0;
+    u8 bestResidual = 0;
+    for (std::size_t a = 0; a < activeList_.size(); ++a) {
+      const int s = activeList_[a];
+      const Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + phase_[a]];
+      if (!seq.seeded || seq.run <= bestRun) continue;
+      bestRun = seq.run;
+      const u8 diff = diffs != nullptr ? diffs[kH - static_cast<std::size_t>(s)]
+                                       : static_cast<u8>(x - prevByte(s));
+      bestResidual = static_cast<u8>(diff - seq.delta);
+    }
+    out[i] = bestRun > threshold ? bestResidual : x;
+    updateActive(x, diffs);
+    pushHistory(x);
+    maybeRotateActiveSet();
+  }
+}
+
+void StrideModel::inverseBatch(const u8* in, u8* out, std::size_t n) {
+  const std::size_t kH = histLen_;
+  const auto threshold = static_cast<u32>(config_.run_length_threshold);
+  for (std::size_t i = 0; i < n; ++i) {
+    u32 bestRun = 0;
+    u8 bestPrediction = 0;
+    for (std::size_t a = 0; a < activeList_.size(); ++a) {
+      const int s = activeList_[a];
+      const Sequence& seq = sequences_[seqBase_[static_cast<std::size_t>(s)] + phase_[a]];
+      if (!seq.seeded || seq.run <= bestRun) continue;
+      bestRun = seq.run;
+      bestPrediction = static_cast<u8>(prevByte(s) + seq.delta);
+    }
+    const u8 x = bestRun > threshold ? static_cast<u8>(in[i] + bestPrediction) : in[i];
+    out[i] = x;
+    const u8* diffs = nullptr;
+    if (sweepWorthwhile()) {
+      simd::byteSubtractFrom(x, hist2_.data() + head_, diff_.data(), kH);
+      diffs = diff_.data();
+    }
+    updateActive(x, diffs);
+    pushHistory(x);
+    maybeRotateActiveSet();
+  }
 }
 
 void StrideModel::maybeRotateActiveSet() {
@@ -129,6 +212,7 @@ void StrideModel::maybeRotateActiveSet() {
   stride.activatedAt = offset_;
   stride.lastEligibleCycle = cycle;
   activeList_.push_back(chosen);
+  phase_.push_back(static_cast<u32>(offset_ % static_cast<u64>(chosen)));
   // Sequence state from the previous activation is stale; restart detection.
   const auto begin =
       sequences_.begin() + static_cast<std::ptrdiff_t>(seqBase_[static_cast<std::size_t>(chosen)]);

@@ -8,6 +8,18 @@
 // evaluate x[i - s]. It is shared verbatim by the forward and inverse
 // transforms: both drive it with the *original* bytes, which is what makes
 // the transform invertible (§III-C).
+//
+// Two representation tricks keep the per-byte scan division-free and
+// SIMD-friendly (docs/PERFORMANCE.md):
+//   * the history ring is stored twice back-to-back (hist2_), so the byte at
+//     offset - s is hist2_[head_ + H - s] — for all strides at once these are
+//     one contiguous, reverse-indexed slice, which is what the
+//     simd::byteSubtractFrom sweep differences against the current byte;
+//   * each active stride carries its current phase (phase_[i], incremented
+//     and wrapped) instead of recomputing offset % s per byte.
+// predict()/consume() remain the byte-at-a-time reference;
+// forwardBatch()/inverseBatch() must be observably identical to stepping
+// them (asserted by tests/transform_test.cc's equivalence property).
 #pragma once
 
 #include <optional>
@@ -62,6 +74,16 @@ class StrideModel {
   /// boundaries re-admits an eligible stride (§III-A).
   void consume(u8 original);
 
+  /// Batch forward transform: out[i] = in[i] - prediction (or in[i] when no
+  /// sequence qualifies), advancing the model over all n bytes. Equivalent
+  /// to predict()+consume() per byte, with the candidate-stride scan
+  /// vectorized.
+  void forwardBatch(const u8* in, u8* out, std::size_t n);
+
+  /// Batch inverse transform: out[i] = in[i] + prediction; the model is
+  /// driven with the reconstructed original bytes.
+  void inverseBatch(const u8* in, u8* out, std::size_t n);
+
   u64 offset() const { return offset_; }
 
   /// Number of strides currently in the active set (observability for tests
@@ -86,8 +108,22 @@ class StrideModel {
     u64 lastEligibleCycle = 0;
   };
 
-  u8 historyAt(u64 pos) const { return history_[pos % history_.size()]; }
+  /// Byte at offset_ - s (requires offset_ >= s), via the doubled ring.
+  u8 prevByte(int s) const { return hist2_[head_ + histLen_ - static_cast<std::size_t>(s)]; }
 
+  /// Sequence-update + eviction pass for one original byte. `diffs`, when
+  /// non-null, holds diffs[H - s] = u8(original - x[offset - s]) for every
+  /// stride (the byteSubtractFrom sweep output); when null the per-stride
+  /// difference is computed inline.
+  void updateActive(u8 original, const u8* diffs);
+
+  /// True when the SIMD sweep pays for itself this byte.
+  bool sweepWorthwhile() const {
+    return offset_ >= static_cast<u64>(histLen_) && activeList_.size() >= 16 &&
+           histLen_ <= activeList_.size() * 16;
+  }
+
+  void pushHistory(u8 original);
   void maybeRotateActiveSet();
 
   TransformConfig config_;
@@ -96,7 +132,11 @@ class StrideModel {
   std::vector<std::size_t> seqBase_;  // per-stride base into sequences_
   std::vector<Stride> strides_;       // index 1..max_stride
   std::vector<int> activeList_;       // current active set (unordered)
-  std::vector<u8> history_;           // ring buffer of the last max_stride bytes
+  std::vector<u32> phase_;            // phase_[i] = offset_ % activeList_[i]
+  std::vector<u8> hist2_;             // doubled ring of the last H bytes
+  std::size_t histLen_ = 0;           // H = max stride
+  std::size_t head_ = 0;              // offset_ % H
+  std::vector<u8> diff_;              // sweep scratch, diff_[H - s]
   u64 offset_ = 0;
 };
 

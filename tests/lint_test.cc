@@ -72,12 +72,28 @@ TEST(LintFaultSites, UndocumentedSiteIsReported) {
   EXPECT_TRUE(hasDiagnostic(diags, "src/testing/fault_injector.h", "shadow.site"));
 }
 
+TEST(LintSimdKernels, UndocumentedKernelIsReported) {
+  const auto diags = lint::checkSimdKernels(fixture("undocumented_kernel"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/io/simd.h", "byteShuffle"));
+  EXPECT_TRUE(hasDiagnostic(diags, "simd.h", "not documented in docs/PERFORMANCE.md"));
+  EXPECT_EQ(diags[0].line, 17);  // the SCISHUFFLE_SIMD_KERNEL(byteShuffle, ...) line
+}
+
+TEST(LintSimdKernels, MissingScalarReferenceIsReported) {
+  const auto diags = lint::checkSimdKernels(fixture("dangling_scalar"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/io/simd.h", "byteSumReference"));
+  EXPECT_TRUE(hasDiagnostic(diags, "simd.h", "does not appear elsewhere in this file"));
+}
+
 TEST(LintMissingInputs, AbsentFilesProduceDiagnosticsNotCrashes) {
   const auto root = fixture("does_not_exist");
   EXPECT_FALSE(lint::checkCounters(root).empty());
   EXPECT_FALSE(lint::checkFormats(root).empty());
   EXPECT_FALSE(lint::checkSpans(root).empty());
   EXPECT_FALSE(lint::checkFaultSites(root).empty());
+  EXPECT_FALSE(lint::checkSimdKernels(root).empty());
 }
 
 // The real tree must hold every invariant — the same gate `lint.repo` runs.

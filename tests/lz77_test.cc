@@ -66,5 +66,63 @@ TEST(Lz77Test, GridWalkRoundTrips) {
   expectRoundTrip(testing::gridWalkTriples(12, 12, 12));
 }
 
+TEST(Lz77Test, StaleChainSlotsTerminate) {
+  // Inputs much longer than the window recycle prev[] slots; a chain walk
+  // that followed a recycled slot could loop or reference future positions.
+  // Repeating data with a period sharing the window's modulus is the worst
+  // case: every slot gets rewritten by a position with the same hash.
+  Bytes data;
+  data.reserve(3 * kWindowSize);
+  for (std::size_t i = 0; i < 3 * kWindowSize; ++i) {
+    data.push_back(static_cast<u8>((i % 64) * 3));
+  }
+  ParseOptions options;
+  options.max_chain_length = 1 << 20;  // would hang if a chain cycled
+  expectRoundTrip(data);
+  const auto tokens = parse(data, options);
+  EXPECT_EQ(expand(tokens), data);
+}
+
+TEST(Lz77Test, GoodMatchShortensChainWalkWithoutBreakingRoundTrip) {
+  const Bytes data = testing::runnyBytes(60000, 3);
+  ParseOptions eager;
+  eager.good_match = 8;  // stop at the first decent match
+  ParseOptions thorough;
+  thorough.good_match = kMaxMatch;
+  const auto eagerTokens = parse(data, eager);
+  const auto thoroughTokens = parse(data, thorough);
+  EXPECT_EQ(expand(eagerTokens), data);
+  EXPECT_EQ(expand(thoroughTokens), data);
+  // The thorough parse may find longer matches but never a worse parse.
+  EXPECT_LE(thoroughTokens.size(), eagerTokens.size());
+}
+
+TEST(Lz77Test, ForLevelLaddersAreMonotonic) {
+  for (int level = 1; level <= 9; ++level) {
+    const ParseOptions options = ParseOptions::forLevel(level);
+    EXPECT_GE(options.max_chain_length, 4);
+    EXPECT_GE(options.good_match, 8);
+    EXPECT_LE(options.good_match, kMaxMatch);
+    if (level > 1) {
+      EXPECT_GE(options.max_chain_length, ParseOptions::forLevel(level - 1).max_chain_length);
+    }
+  }
+  EXPECT_THROW(ParseOptions::forLevel(0), std::logic_error);
+  EXPECT_THROW(ParseOptions::forLevel(10), std::logic_error);
+}
+
+TEST(Lz77Test, AppendingOverloadMatchesReturningParse) {
+  const Bytes data = testing::gridWalkTriples(10, 10, 10);
+  const auto direct = parse(data);
+  std::vector<Token> appended;
+  parse(data, ParseOptions{}, appended);
+  ASSERT_EQ(direct.size(), appended.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].length, appended[i].length);
+    EXPECT_EQ(direct[i].distance, appended[i].distance);
+    EXPECT_EQ(direct[i].literal, appended[i].literal);
+  }
+}
+
 }  // namespace
 }  // namespace scishuffle::lz77

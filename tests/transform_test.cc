@@ -222,5 +222,88 @@ TEST(TransformCodecTest, TransformBeatsPlainCompressionOnKeyStreams) {
   EXPECT_LT(composedSize * 2, plainSize);  // at least 2x better on key streams
 }
 
+// The batch entry points (which may use the SIMD subtract sweep and the
+// phase-carrying scan) must be observably identical to stepping the scalar
+// reference predict()/consume() byte by byte — same outputs AND the same
+// final model state, since eviction/rotation decisions depend on every
+// intermediate update.
+TEST(StrideModelTest, ForwardBatchMatchesScalarReference) {
+  for (const u32 seed : {1u, 2u, 3u}) {
+    for (const auto& data :
+         {testing::gridWalkTriples(12, 12, 12), testing::randomBytes(40000, seed),
+          testing::runnyBytes(40000, seed), Bytes(5000, 0)}) {
+      TransformConfig config;
+      config.max_stride = 64;
+      StrideModel batch(config);
+      StrideModel scalar(config);
+
+      Bytes batchOut(data.size());
+      batch.forwardBatch(data.data(), batchOut.data(), data.size());
+
+      Bytes scalarOut;
+      scalarOut.reserve(data.size());
+      for (const u8 x : data) {
+        const auto p = scalar.predict();
+        scalarOut.push_back(p ? static_cast<u8>(x - *p) : x);
+        scalar.consume(x);
+      }
+
+      ASSERT_EQ(batchOut, scalarOut);
+      EXPECT_EQ(batch.offset(), scalar.offset());
+      EXPECT_EQ(batch.activeStrides(), scalar.activeStrides());
+    }
+  }
+}
+
+TEST(StrideModelTest, InverseBatchMatchesScalarReference) {
+  const Bytes original = testing::gridWalkTriples(14, 14, 14);
+  TransformConfig config;
+  config.max_stride = 48;
+
+  // Residuals from the forward pass feed both inverse implementations.
+  StrideModel fwd(config);
+  Bytes residuals(original.size());
+  fwd.forwardBatch(original.data(), residuals.data(), original.size());
+
+  StrideModel batch(config);
+  Bytes batchOut(residuals.size());
+  batch.inverseBatch(residuals.data(), batchOut.data(), residuals.size());
+
+  StrideModel scalar(config);
+  Bytes scalarOut;
+  scalarOut.reserve(residuals.size());
+  for (const u8 y : residuals) {
+    const auto p = scalar.predict();
+    const u8 x = p ? static_cast<u8>(y + *p) : y;
+    scalarOut.push_back(x);
+    scalar.consume(x);
+  }
+
+  EXPECT_EQ(batchOut, original);  // the inverse really inverts
+  EXPECT_EQ(scalarOut, original);
+  EXPECT_EQ(batch.activeStrides(), scalar.activeStrides());
+}
+
+TEST(StrideModelTest, BatchSplitPointsDoNotChangeResults) {
+  // forwardBatch(a) then forwardBatch(b) == forwardBatch(a+b): the model
+  // carries all state across batch boundaries (the streaming transform
+  // depends on this chunking invariance).
+  const Bytes data = testing::gridWalkTriples(10, 10, 10);
+  TransformConfig config;
+  config.max_stride = 32;
+
+  StrideModel whole(config);
+  Bytes wholeOut(data.size());
+  whole.forwardBatch(data.data(), wholeOut.data(), data.size());
+
+  for (const std::size_t split : {std::size_t{1}, data.size() / 3, data.size() - 1}) {
+    StrideModel parts(config);
+    Bytes partsOut(data.size());
+    parts.forwardBatch(data.data(), partsOut.data(), split);
+    parts.forwardBatch(data.data() + split, partsOut.data() + split, data.size() - split);
+    EXPECT_EQ(partsOut, wholeOut) << "split at " << split;
+  }
+}
+
 }  // namespace
 }  // namespace scishuffle::transform

@@ -269,9 +269,64 @@ std::vector<Diagnostic> checkFaultSites(const fs::path& root) {
   return diags;
 }
 
+std::vector<Diagnostic> checkSimdKernels(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string docs = readAll(root, "docs/PERFORMANCE.md", diags);
+  if (docs.empty()) return diags;
+  const std::vector<SourceFile> sources = loadSources(root, diags);
+
+  // Registration sites: SCISHUFFLE_SIMD_KERNEL(kernel, scalarRef). The macro
+  // definition itself and comments mentioning the macro are not
+  // registrations.
+  static const std::regex kernelRe(R"(SCISHUFFLE_SIMD_KERNEL\(\s*(\w+)\s*,\s*(\w+)\s*\))");
+  int registrations = 0;
+  for (const auto& f : sources) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& line = f.lines[i];
+      const std::size_t firstNonSpace = line.find_first_not_of(" \t");
+      if (firstNonSpace == std::string::npos) continue;
+      if (line.compare(firstNonSpace, 2, "//") == 0) continue;
+      if (line.find("#define") != std::string::npos) continue;
+      std::smatch m;
+      if (!std::regex_search(line, m, kernelRe)) continue;
+      ++registrations;
+      const std::string kernel = m[1].str();
+      const std::string scalar = m[2].str();
+
+      // The scalar reference must live in the same file as the kernel it
+      // vouches for (the equivalence property is meaningless otherwise).
+      bool scalarDefined = false;
+      for (std::size_t j = 0; j < f.lines.size(); ++j) {
+        if (j != i && f.lines[j].find(scalar) != std::string::npos) {
+          scalarDefined = true;
+          break;
+        }
+      }
+      if (!scalarDefined) {
+        diags.push_back({f.relPath, static_cast<int>(i + 1),
+                         "SIMD kernel " + kernel + " registers scalar reference " + scalar +
+                             ", which does not appear elsewhere in this file (the reference "
+                             "must be defined next to the kernel)"});
+      }
+      if (docs.find("`" + kernel + "`") == std::string::npos) {
+        diags.push_back({f.relPath, static_cast<int>(i + 1),
+                         "SIMD kernel " + kernel +
+                             " is not documented in docs/PERFORMANCE.md's kernel table"});
+      }
+    }
+  }
+  if (registrations == 0) {
+    diags.push_back({"src/io/simd.h", 0,
+                     "no SCISHUFFLE_SIMD_KERNEL registrations found; the kernel layer must "
+                     "register every dispatched kernel with its scalar reference"});
+  }
+  return diags;
+}
+
 int runAllChecks(const fs::path& root, std::ostream& os) {
   std::vector<Diagnostic> all;
-  for (const auto& check : {checkCounters, checkFormats, checkSpans, checkFaultSites}) {
+  for (const auto& check :
+       {checkCounters, checkFormats, checkSpans, checkFaultSites, checkSimdKernels}) {
     auto diags = check(root);
     all.insert(all.end(), diags.begin(), diags.end());
   }

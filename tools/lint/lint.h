@@ -17,6 +17,9 @@
 //   * sites      — every fault-injection site constant in
 //                  src/testing/fault_injector.h is documented in
 //                  docs/FAULTS.md.
+//   * kernels    — every SCISHUFFLE_SIMD_KERNEL(kernel, scalarRef)
+//                  registration names a scalar reference defined in the same
+//                  file and a kernel documented in docs/PERFORMANCE.md.
 //
 // Each check takes the repo root, reads only the files it names, and returns
 // diagnostics carrying file:line so CI output is clickable. Header
@@ -44,6 +47,7 @@ std::vector<Diagnostic> checkCounters(const std::filesystem::path& root);
 std::vector<Diagnostic> checkFormats(const std::filesystem::path& root);
 std::vector<Diagnostic> checkSpans(const std::filesystem::path& root);
 std::vector<Diagnostic> checkFaultSites(const std::filesystem::path& root);
+std::vector<Diagnostic> checkSimdKernels(const std::filesystem::path& root);
 
 /// Runs every check, prints diagnostics to `os`, returns the total count.
 int runAllChecks(const std::filesystem::path& root, std::ostream& os);

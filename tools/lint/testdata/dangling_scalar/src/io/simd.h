@@ -1,0 +1,12 @@
+// Fixture: a registration whose scalar reference does not exist in this
+// file — the equivalence contract is unverifiable, so lint must flag it.
+#pragma once
+
+#define SCISHUFFLE_SIMD_KERNEL(kernel, scalarRef) static_assert(true, "")
+
+inline int byteSum(const unsigned char* p, int n) {
+  int s = 0;
+  for (int i = 0; i < n; ++i) s += p[i];
+  return s;
+}
+SCISHUFFLE_SIMD_KERNEL(byteSum, byteSumReference);

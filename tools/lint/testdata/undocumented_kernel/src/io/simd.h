@@ -1,0 +1,17 @@
+// Fixture: two kernel registrations; byteShuffle is missing from the doc's
+// kernel table, so the check must report exactly that one.
+#pragma once
+
+#define SCISHUFFLE_SIMD_KERNEL(kernel, scalarRef) static_assert(true, "")
+
+inline int byteSumScalar(const unsigned char* p, int n) {
+  int s = 0;
+  for (int i = 0; i < n; ++i) s += p[i];
+  return s;
+}
+inline int byteSum(const unsigned char* p, int n) { return byteSumScalar(p, n); }
+SCISHUFFLE_SIMD_KERNEL(byteSum, byteSumScalar);
+
+inline void byteShuffleScalar(unsigned char*, int) {}
+inline void byteShuffle(unsigned char* p, int n) { byteShuffleScalar(p, n); }
+SCISHUFFLE_SIMD_KERNEL(byteShuffle, byteShuffleScalar);
