@@ -11,6 +11,7 @@
 // shuffle_overlap_us, and peak RSS per run, plus the core count — the
 // >= 1.5x xform-gzipish speedup target only applies on >= 4 cores, since a
 // single-core box has no parallelism for the block pool to exploit.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +20,9 @@
 #include <vector>
 
 #include <sys/resource.h>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "bench_util/bench_util.h"
 #include "grid/dataset.h"
@@ -35,10 +39,16 @@ namespace {
 constexpr i64 kSide = 1000;
 constexpr int kMapSplits = 8;
 
-// Peak RSS, resettable between runs: poking "5" into /proc/self/clear_refs
-// clears VmHWM so each configuration gets its own high-water mark. Falls
-// back to the process-lifetime getrusage value where procfs is absent.
+// Peak RSS, resettable between runs: malloc_trim returns freed arena pages
+// to the OS (otherwise the allocator's retained floor from earlier runs
+// inflates every later high-water mark), then poking "5" into
+// /proc/self/clear_refs clears VmHWM so each configuration gets its own
+// peak. Falls back to the process-lifetime getrusage value where procfs is
+// absent.
 void resetPeakRss() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
   std::ofstream clear("/proc/self/clear_refs");
   if (clear) clear << "5\n";
 }
@@ -92,6 +102,11 @@ struct CodecRow {
   // timed A/B runs above keep tracing off.
   double traced_wall_s = 0;
   std::vector<obs::HistogramSnapshot> histograms;
+  // A fourth run with the telemetry sampler on (5 ms interval, no trace):
+  // sampler-on vs sampler-off wall clock, and the sampler's own view of peak
+  // RSS to cross-check against the procfs VmHWM numbers above.
+  double sampler_wall_s = 0;
+  u64 sampler_rss_peak_bytes = 0;
 };
 
 // Record-level counters only: timings, byte framing, and CPU accounting are
@@ -108,7 +123,26 @@ std::map<std::string, u64> recordCounters(const JobResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Instrumented mode: `--trace t.json --metrics-out m.jsonl` runs ONLY the
+  // gzipish pipelined configuration with the telemetry sampler on and exits.
+  // A dedicated fresh process makes the RSS comparison honest: the sampler's
+  // "ph":"C" process.rss_bytes track must reproduce the peak_rss_bytes this
+  // benchmark records in BENCH_shuffle.json (within 10% — the allocator never
+  // returns pages, so any multi-run process would inflate the floor).
+  std::filesystem::path tracePath;
+  std::filesystem::path metricsPath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metricsPath = argv[++i];
+    } else {
+      std::cerr << "usage: bench_shuffle_pipeline [--trace t.json --metrics-out m.jsonl]\n";
+      return 2;
+    }
+  }
   const unsigned cores = std::thread::hardware_concurrency();
   bench::banner("pipelined shuffle A/B — 1000x1000 int32 grid, " +
                 std::to_string(kMapSplits) + " map splits, " + std::to_string(cores) + " cores");
@@ -118,6 +152,34 @@ int main() {
                                      const hadoop::EmitFn& emit) {
     emit(key, values.front());
   };
+
+  if (!tracePath.empty() || !metricsPath.empty()) {
+    JobConfig config;
+    config.intermediate_codec = "gzipish";
+    config.num_reducers = 4;
+    config.map_slots = 4;
+    config.reduce_slots = 2;
+    config.spill_buffer_bytes = 4u << 20;
+    config.shuffle_pipeline = true;
+    config.trace_path = tracePath;
+    config.metrics_path = metricsPath;
+    config.sample_interval_ms = 5;
+    resetPeakRss();
+    bench::Timer timer;
+    JobResult result = hadoop::runJob(config, tasks, reduce);
+    const double wall = timer.seconds();
+    const u64 procfsPeak = peakRssBytes();
+    u64 sampledPeak = 0;
+    const auto it = result.telemetry.gauges.find("process.rss_bytes.max");
+    if (it != result.telemetry.gauges.end()) sampledPeak = it->second;
+    std::cout << "instrumented gzipish pipeline run: " << bench::fixed(wall, 3) << " s\n"
+              << "sampler RSS peak:  " << bench::humanBytes(static_cast<double>(sampledPeak))
+              << "\nprocfs VmHWM:      " << bench::humanBytes(static_cast<double>(procfsPeak))
+              << "\n";
+    if (!tracePath.empty()) std::cout << "wrote trace to " << tracePath << "\n";
+    if (!metricsPath.empty()) std::cout << "wrote metrics to " << metricsPath << "\n";
+    return 0;
+  }
 
   std::vector<CodecRow> rows;
   for (const std::string codec : {"null", "gzipish", "transform+gzipish"}) {
@@ -156,6 +218,16 @@ int main() {
     row.traced_wall_s = tracedTimer.seconds();
     row.histograms = std::move(traced.telemetry.histograms);
 
+    config.collect_histograms = false;
+    config.sample_interval_ms = 5;
+    resetPeakRss();
+    bench::Timer samplerTimer;
+    JobResult sampled = hadoop::runJob(config, tasks, reduce);
+    row.sampler_wall_s = samplerTimer.seconds();
+    const auto it = sampled.telemetry.gauges.find("process.rss_bytes.max");
+    if (it != sampled.telemetry.gauges.end()) row.sampler_rss_peak_bytes = it->second;
+    config.sample_interval_ms = 0;
+
     rows.push_back(std::move(row));
   }
 
@@ -177,6 +249,11 @@ int main() {
   std::cout << "transform+gzipish speedup: " << bench::fixed(xformSpeedup, 2) << "x (target >= 1.5x on >= 4 cores";
   if (cores < 4) std::cout << "; this machine has " << cores << ", so not applicable";
   std::cout << ")\n";
+  for (const CodecRow& row : rows) {
+    std::cout << "sampler(5ms) " << row.codec << ": " << bench::fixed(row.sampler_wall_s, 3)
+              << " s vs " << bench::fixed(row.pipeline.wall_s, 3) << " s off, sampler RSS peak "
+              << bench::humanBytes(static_cast<double>(row.sampler_rss_peak_bytes)) << "\n";
+  }
 
   {
     bench::JsonFile json("BENCH_shuffle.json");
@@ -196,6 +273,18 @@ int main() {
       };
       emit("serial", row.serial);
       emit("pipeline", row.pipeline);
+    }
+    w.endArray();
+    // Sampler overhead: pipelined run with the 5 ms telemetry sampler on vs
+    // the untimed pipeline run, plus the sampler's own RSS-peak estimate.
+    w.key("sampler").beginArray();
+    for (const CodecRow& row : rows) {
+      w.beginObject();
+      w.kv("codec", row.codec);
+      w.kv("sampler_wall_s", row.sampler_wall_s);
+      w.kv("untraced_wall_s", row.pipeline.wall_s);
+      w.kv("sampler_rss_peak_bytes", row.sampler_rss_peak_bytes);
+      w.endObject();
     }
     w.endArray();
     // Per-stage histograms from the instrumented pipeline run of each codec.

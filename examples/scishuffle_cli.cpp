@@ -5,19 +5,27 @@
 //   scishuffle_cli query <file.nc> <variable> <median|mean|sum>
 //                  [--aggregate] [--radius R] [--mappers M] [--reducers R]
 //                  [--codec C] [--curve C] [--report] [--json-report]
-//                  [--trace trace.json] [--out out.seq]     run a sliding query
+//                  [--trace trace.json] [--metrics-out m.jsonl]
+//                  [--sample-interval MS] [--out out.seq]   run a sliding query
 //   scishuffle_cli slab <file.nc> <variable> <median|mean|sum> <dim> [dim...]
 //                  [--mappers M] [--reducers R] [--combiner] [--report]
-//                  [--json-report] [--trace trace.json]     reduce away dims
+//                  [--json-report] [--trace trace.json] [--metrics-out m.jsonl]
+//                  [--sample-interval MS]                   reduce away dims
 //
 // --trace writes a Chrome trace_event JSON covering the full shuffle data
 // path (open in chrome://tracing or ui.perfetto.dev); --json-report prints
-// the machine-readable run report with per-stage histograms. Both are
-// documented in docs/OBSERVABILITY.md.
+// the machine-readable run report with per-stage histograms. --metrics-out
+// streams scishuffle.metrics.v1 JSONL (sampler gauge snapshots + structured
+// events) and turns the telemetry sampler on at a 10 ms default interval;
+// --sample-interval overrides the interval (and with --trace alone adds
+// "ph":"C" counter tracks to the trace). All documented in
+// docs/OBSERVABILITY.md.
+//   scishuffle_cli stat <metrics.jsonl>                     summarize a metrics file
 //   scishuffle_cli codec <name> <in> <out.z>                compress a file
 //   scishuffle_cli decodec <name> <in.z> <out>              decompress a file
 //   scishuffle_cli inspect <file>                           stride detection report
-//   scishuffle_cli faultdemo [--out report.json]            faulted run + recovery
+//   scishuffle_cli faultdemo [--out report.json] [--metrics-out m.jsonl]
+//                                                           faulted run + recovery
 //   scishuffle_cli selftest                                 end-to-end smoke test
 //
 // faultdemo runs the canonical fault-injection scenario from docs/FAULTS.md:
@@ -37,6 +45,7 @@
 #include "hadoop/sequence_file.h"
 #include "io/streams.h"
 #include "io/primitives.h"
+#include "obs/stat.h"
 #include "scikey/slab_query.h"
 #include "scikey/sliding_query.h"
 #include "testing/fault_injector.h"
@@ -48,10 +57,28 @@ using namespace scishuffle;
 namespace {
 
 int usage() {
-  std::cerr << "usage: scishuffle_cli <gen|info|query|codec|decodec|inspect|faultdemo|selftest>"
-               " ...\n"
+  std::cerr << "usage: scishuffle_cli "
+               "<gen|info|query|slab|stat|codec|decodec|inspect|faultdemo|selftest> ...\n"
                "see the header of examples/scishuffle_cli.cpp for details\n";
   return 2;
+}
+
+/// Resolves the sampler flags: --metrics-out alone turns the sampler on at a
+/// 10 ms default interval; --sample-interval sets it explicitly (useful with
+/// --trace alone for "ph":"C" counter tracks without a JSONL file).
+void resolveSamplerInterval(hadoop::JobConfig& job, u64 sampleIntervalMs) {
+  if (sampleIntervalMs > 0) {
+    job.sample_interval_ms = sampleIntervalMs;
+  } else if (!job.metrics_path.empty()) {
+    job.sample_interval_ms = 10;
+  }
+}
+
+void reportMetricsPath(const hadoop::JobConfig& job) {
+  if (!job.metrics_path.empty()) {
+    std::cerr << "wrote metrics to " << job.metrics_path
+              << " (summarize with scishuffle_cli stat)\n";
+  }
 }
 
 int cmdGen(const std::vector<std::string>& args) {
@@ -100,6 +127,7 @@ int cmdQuery(const std::vector<std::string>& args) {
   bool aggregate = false;
   bool report = false;
   bool jsonReport = false;
+  u64 sampleIntervalMs = 0;
   std::filesystem::path outPath;
   for (std::size_t i = 3; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
@@ -116,6 +144,10 @@ int cmdQuery(const std::vector<std::string>& args) {
     } else if (args[i] == "--trace") {
       job.trace_path = next();
       job.collect_histograms = true;
+    } else if (args[i] == "--metrics-out") {
+      job.metrics_path = next();
+    } else if (args[i] == "--sample-interval") {
+      sampleIntervalMs = static_cast<u64>(std::stoul(next()));
     } else if (args[i] == "--radius") {
       query.window_radius = std::stoi(next());
     } else if (args[i] == "--mappers") {
@@ -135,6 +167,7 @@ int cmdQuery(const std::vector<std::string>& args) {
     }
   }
 
+  resolveSamplerInterval(job, sampleIntervalMs);
   const scikey::PreparedJob prepared = aggregate
                                            ? buildAggregateSlidingJob(input, query, job)
                                            : buildSimpleSlidingJob(input, query, job);
@@ -152,6 +185,7 @@ int cmdQuery(const std::vector<std::string>& args) {
   if (!job.trace_path.empty()) {
     std::cerr << "wrote trace to " << job.trace_path << " (open in chrome://tracing)\n";
   }
+  reportMetricsPath(job);
 
   if (!outPath.empty()) {
     FileSink sink(outPath);
@@ -182,6 +216,7 @@ int cmdSlab(const std::vector<std::string>& args) {
   hadoop::JobConfig job;
   bool report = false;
   bool jsonReport = false;
+  u64 sampleIntervalMs = 0;
   for (std::size_t i = 3; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       check(i + 1 < args.size(), "flag needs a value");
@@ -202,6 +237,10 @@ int cmdSlab(const std::vector<std::string>& args) {
     } else if (args[i] == "--trace") {
       job.trace_path = next();
       job.collect_histograms = true;
+    } else if (args[i] == "--metrics-out") {
+      job.metrics_path = next();
+    } else if (args[i] == "--sample-interval") {
+      sampleIntervalMs = static_cast<u64>(std::stoul(next()));
     } else if (!args[i].empty() && args[i][0] != '-') {
       query.reduced_dims.push_back(std::stoi(args[i]));
     } else {
@@ -210,6 +249,7 @@ int cmdSlab(const std::vector<std::string>& args) {
     }
   }
 
+  resolveSamplerInterval(job, sampleIntervalMs);
   const auto prepared = buildAggregateSlabJob(input, query, job);
   const auto result = hadoop::runJob(prepared.job, prepared.map_tasks, prepared.reduce);
   if (jsonReport) {
@@ -220,6 +260,14 @@ int cmdSlab(const std::vector<std::string>& args) {
   if (!job.trace_path.empty()) {
     std::cerr << "wrote trace to " << job.trace_path << " (open in chrome://tracing)\n";
   }
+  reportMetricsPath(job);
+  return 0;
+}
+
+int cmdStat(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const obs::MetricsSummary summary = obs::summarizeMetricsFile(args[0]);
+  obs::renderMetricsSummary(summary, std::cout);
   return 0;
 }
 
@@ -257,9 +305,12 @@ int cmdInspect(const std::vector<std::string>& args) {
 
 int cmdFaultDemo(const std::vector<std::string>& args) {
   std::filesystem::path outPath;
+  std::filesystem::path metricsPath;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--out" && i + 1 < args.size()) {
       outPath = args[++i];
+    } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+      metricsPath = args[++i];
     } else {
       std::cerr << "unknown flag " << args[i] << "\n";
       return usage();
@@ -313,6 +364,13 @@ int cmdFaultDemo(const std::vector<std::string>& args) {
   faulted.fault_injector = &faults;
   faulted.shuffle_retry.enabled = true;
   faulted.collect_histograms = true;
+  if (!metricsPath.empty()) {
+    // A faulted run with the sampler on: the metrics JSONL then carries the
+    // retry/corruption/re-fetch event timeline alongside the gauge samples
+    // (CI uploads it as an artifact next to the JSON report).
+    faulted.metrics_path = metricsPath;
+    faulted.sample_interval_ms = 5;
+  }
   const auto result = hadoop::runJob(faulted, tasks, reduce);
 
   const u64 fetchRetries = result.counters.get(hadoop::counter::kShuffleFetchRetries);
@@ -326,6 +384,17 @@ int cmdFaultDemo(const std::vector<std::string>& args) {
     const std::string json = hadoop::jobReportJson(result);
     sink.write(ByteSpan(reinterpret_cast<const u8*>(json.data()), json.size()));
     std::cout << "wrote JSON report to " << outPath << "\n";
+  }
+
+  if (!metricsPath.empty()) {
+    // The metrics file must summarize and carry the recovery events.
+    const obs::MetricsSummary summary = obs::summarizeMetricsFile(metricsPath);
+    u64 eventLines = 0;
+    for (const auto& [name, count] : summary.event_counts) eventLines += count;
+    check(summary.samples >= 2, "metrics file is missing sampler snapshots");
+    check(eventLines >= 1, "metrics file recorded no recovery events");
+    std::cout << "wrote metrics to " << metricsPath << " (" << summary.samples << " samples, "
+              << eventLines << " events)\n";
   }
 
   check(result.outputs == baseline.outputs,
@@ -363,6 +432,19 @@ int cmdSelftest() {
       check(!t.readAll().empty(), "trace file is empty");
     }
   }
+  if (rc == 0) {
+    // Metrics round trip: a sampled run must leave a JSONL file that `stat`
+    // can summarize (at least the t≈0 and job-end samples).
+    const auto metrics = (dir / "metrics.jsonl").string();
+    rc = cmdQuery({nc, "pressure", "median", "--aggregate", "--mappers", "4", "--reducers", "3",
+                   "--metrics-out", metrics, "--sample-interval", "2"});
+    if (rc == 0) {
+      const obs::MetricsSummary summary = obs::summarizeMetricsFile(metrics);
+      check(summary.samples >= 2, "metrics file is missing sampler snapshots");
+      check(summary.gauges.count("process.rss_bytes") == 1, "metrics file has no RSS gauge");
+      rc = cmdStat({metrics});
+    }
+  }
   if (rc == 0) rc = cmdCodec({"transform+gzipish", nc, z}, /*decompress=*/false);
   if (rc == 0) rc = cmdCodec({"transform+gzipish", z, back}, /*decompress=*/true);
   if (rc == 0) {
@@ -370,7 +452,7 @@ int cmdSelftest() {
     check(a.readAll() == b.readAll(), "codec round trip through files failed");
   }
   if (rc == 0) rc = cmdInspect({nc});
-  if (rc == 0) rc = cmdFaultDemo({});
+  if (rc == 0) rc = cmdFaultDemo({"--metrics-out", (dir / "fault_metrics.jsonl").string()});
   if (rc == 0) {
     // The SequenceFile we wrote must parse.
     FileSource s(seq);
@@ -397,6 +479,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmdInfo(args);
     if (cmd == "query") return cmdQuery(args);
     if (cmd == "slab") return cmdSlab(args);
+    if (cmd == "stat") return cmdStat(args);
     if (cmd == "codec") return cmdCodec(args, false);
     if (cmd == "decodec") return cmdCodec(args, true);
     if (cmd == "inspect") return cmdInspect(args);

@@ -73,6 +73,20 @@ struct JobConfig {
   /// overhead.
   bool collect_histograms = false;
 
+  /// Interval of the background telemetry sampler (src/obs/sampler.h): every
+  /// sample_interval_ms it snapshots the process gauge registry (RSS, pool
+  /// outstanding bytes, shuffle backlog, thread-pool depth, stage-resident
+  /// bytes) into the trace as "ph":"C" counter events, the metrics stream,
+  /// and max/mean rollups in JobResult::telemetry. 0 (default) = no sampler
+  /// thread at all, so an untouched config pays nothing.
+  u64 sample_interval_ms = 0;
+
+  /// When set, stream scishuffle.metrics.v1 JSONL (sampler gauge snapshots
+  /// plus structured retry/corruption/backpressure events) to this file for
+  /// the duration of the job; summarize it with `scishuffle_cli stat`. See
+  /// docs/OBSERVABILITY.md for the line grammar.
+  std::filesystem::path metrics_path;
+
   /// Attempts per task before the job fails (Hadoop's
   /// mapreduce.map/reduce.maxattempts; its fault tolerance is the paper's
   /// stated reason for wanting HPC codes on Hadoop at all). Each retry

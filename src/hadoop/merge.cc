@@ -17,7 +17,10 @@ MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Code
     : config_(&config),
       counters_(&counters),
       codecPool_(codecPool),
-      streaming_(config.shuffle_pipeline) {
+      streaming_(config.shuffle_pipeline),
+      residentGauge_(obs::processGauges().add(obs::gauge::kMergeResidentBytes, [this] {
+        return residentSegmentBytes_.load(std::memory_order_relaxed);
+      })) {
   obs::ScopedSpan span("merge_open", "merge");
   span.arg("segments", segments.size());
   // Multi-pass merging: while too many segments, merge the smallest
@@ -31,6 +34,9 @@ MergedSegmentStream::MergedSegmentStream(std::vector<Bytes> segments, const Code
     // Heads borrow spans of segments_; keep the bytes alive for the stream's
     // lifetime and hold only the current decoded block per segment.
     segments_ = std::move(segments);
+    u64 pinned = 0;
+    for (const Bytes& segment : segments_) pinned += segment.size();
+    residentSegmentBytes_.store(pinned, std::memory_order_relaxed);
     for (Bytes& segment : segments_) {
       Head head;
       head.source = std::make_unique<BlockDecodeSource>(segment, codec, codecPool_,

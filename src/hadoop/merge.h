@@ -11,6 +11,7 @@
 // O(num_segments x block size), reported via REDUCE_MERGE_RESIDENT_PEAK_BYTES.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "hadoop/ifile.h"
 #include "hadoop/job.h"
 #include "io/thread_pool.h"
+#include "obs/sampler.h"
 
 namespace scishuffle::hadoop {
 
@@ -57,6 +59,12 @@ class MergedSegmentStream final : public KVStream {
   std::vector<Head> heads_;
   u64 residentPeakBytes_ = 0;  // accumulated from retired heads
   bool peakReported_ = false;
+  // Compressed segment bytes this live stream pins (streaming path; the
+  // decoded-block residency is the separate REDUCE_MERGE_RESIDENT_PEAK_BYTES
+  // counter). Atomic (relaxed): read by the telemetry sampler's thread.
+  std::atomic<u64> residentSegmentBytes_{0};
+  // Declared last: unregisters first, before any state the callback reads.
+  obs::GaugeRegistration residentGauge_;
 };
 
 }  // namespace scishuffle::hadoop

@@ -11,7 +11,10 @@
 #include "hadoop/retry.h"
 #include "hadoop/shuffle.h"
 #include "io/annotations.h"
+#include "io/buffer_pool.h"
 #include "io/thread_pool.h"
+#include "obs/metrics_stream.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "testing/fault_injector.h"
 #include "transform/transform_codec.h"
@@ -30,6 +33,21 @@ int codecPoolThreads(const JobConfig& config) {
   if (config.codec_threads > 0) return config.codec_threads;
   return std::max(1u, std::thread::hardware_concurrency());
 }
+
+/// Registers a ThreadPool's queue-depth/active-workers gauges for the pool's
+/// lifetime; every live pool registers under the same names, so the sampler
+/// reads the process-wide totals. Declare directly after the pool: the
+/// registrations then unregister before the pool is destroyed.
+struct PoolGauges {
+  explicit PoolGauges(ThreadPool& pool)
+      : depth(obs::processGauges().add(obs::gauge::kThreadPoolQueueDepth,
+                                       [&pool] { return static_cast<u64>(pool.queueDepth()); })),
+        active(obs::processGauges().add(obs::gauge::kThreadPoolActiveWorkers, [&pool] {
+          return static_cast<u64>(std::max(0, pool.activeWorkers()));
+        })) {}
+  obs::GaugeRegistration depth;
+  obs::GaugeRegistration active;
+};
 
 /// Shared scaffolding for per-task error collection.
 class ErrorSlot {
@@ -89,6 +107,8 @@ void verifyAndRecoverSegment(const JobConfig& config, ShuffleServer& server, con
     if (segmentIntact(fetched.segment, codec)) return;
   }
   counters.add(counter::kBlocksCorruptDetected, 1);
+  obs::emitEvent(obs::event::kShuffleCorruptionDetected, "segment.integrity",
+                 fetched.map_index);
   obs::ScopedSpan span("segment_refetch", "shuffle");
   span.arg("map", fetched.map_index);
   span.arg("reducer", static_cast<u64>(reducer));
@@ -99,6 +119,7 @@ void verifyAndRecoverSegment(const JobConfig& config, ShuffleServer& server, con
                         "shuffle_retry to retain segments)");
     }
     counters.add(counter::kSegmentsRefetched, 1);
+    obs::emitEvent(obs::event::kShuffleSegmentRefetch, "segment.integrity", fetched.map_index);
     Bytes fresh = server.refetch(fetched.map_index, reducer);
     checkFormat(segmentIntact(fresh, codec), "re-fetched segment is still corrupt");
     return fresh;
@@ -147,6 +168,7 @@ std::optional<MapOutput> runMapTaskWithRetries(const JobConfig& config, const Co
         errors.record();
         return std::nullopt;
       }
+      obs::emitEvent(obs::event::kTaskRetry, "map_task", static_cast<u64>(attempt));
     }
   }
 }
@@ -198,17 +220,21 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
       // fetch-time verification did not catch). Re-execute the reduce task;
       // exhaustion yields a structured error naming the decode site.
       result.counters.add(counter::kBlocksCorruptDetected, 1);
+      obs::emitEvent(obs::event::kShuffleCorruptionDetected, testing::site::kBlockDecode,
+                     static_cast<u64>(r));
       if (attempt >= formatAttempts) {
         errors.record(std::make_exception_ptr(RetryExhaustedError(
             FailureReport{testing::site::kBlockDecode, attempt, e.what()})));
         return;
       }
+      obs::emitEvent(obs::event::kTaskRetry, "reduce_task", static_cast<u64>(attempt));
       decodeBackoff.wait(attempt + 1);
     } catch (...) {
       if (attempt >= config.max_task_attempts) {
         errors.record();
         return;
       }
+      obs::emitEvent(obs::event::kTaskRetry, "reduce_task", static_cast<u64>(attempt));
     }
   }
 }
@@ -230,6 +256,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   {
     obs::ScopedSpan phase("map_phase", "map");
     ThreadPool pool(config.map_slots);
+    PoolGauges poolGauges(pool);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       pool.submit([&, m] {
         mapOutputs[m] = runMapTaskWithRetries(config, codec, nullptr, mapTasks[m], m,
@@ -266,6 +293,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   {
     obs::ScopedSpan phase("reduce_phase", "reduce");
     ThreadPool pool(config.reduce_slots);
+    PoolGauges poolGauges(pool);
     for (int r = 0; r < config.num_reducers; ++r) {
       pool.submit([&, r] {
         const std::vector<Bytes> segments =
@@ -297,10 +325,16 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   ErrorSlot errors;
 
   ThreadPool codecPool(codecPoolThreads(config));
+  PoolGauges codecPoolGauges(codecPool);
   // Retry needs pristine copies to re-fetch; without it, keep today's pure
   // move semantics (no segment copies on the happy path).
   ShuffleServer server(mapTasks.size(), config.num_reducers, config.fault_injector,
                        /*retainSegments=*/config.shuffle_retry.enabled);
+  obs::GaugeRegistration shuffleSegments = obs::processGauges().add(
+      obs::gauge::kShuffleInflightSegments,
+      [&server] { return static_cast<u64>(server.pendingSegments()); });
+  obs::GaugeRegistration shuffleBytes = obs::processGauges().add(
+      obs::gauge::kShufflePendingBytes, [&server] { return server.pendingBytes(); });
   const bool verifySegments = config.verify_fetched_segments || config.shuffle_retry.enabled;
 
   const u64 jobStart = nowUs();
@@ -309,6 +343,7 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   // by map index so the merge sees the same deterministic order as the serial
   // path regardless of arrival order.
   ThreadPool reducePool(config.reduce_slots);
+  PoolGauges reducePoolGauges(reducePool);
   for (int r = 0; r < config.num_reducers; ++r) {
     reducePool.submit([&, r] {
       try {
@@ -321,8 +356,10 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
           auto fetched = retryWithPolicy(
               config.shuffle_retry, testing::site::kShuffleFetch,
               [&] { return server.fetch(r); },
-              [&](int, const std::string&) {
+              [&](int attempt, const std::string&) {
                 result.counters.add(counter::kShuffleFetchRetries, 1);
+                obs::emitEvent(obs::event::kShuffleFetchRetry, testing::site::kShuffleFetch,
+                               static_cast<u64>(attempt));
               });
           if (!fetched) break;
           span.arg("reducer", static_cast<u64>(r));
@@ -347,6 +384,7 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   {
     obs::ScopedSpan phase("map_phase", "map");
     ThreadPool mapPool(config.map_slots);
+    PoolGauges mapPoolGauges(mapPool);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       mapPool.submit([&, m] {
         auto output = runMapTaskWithRetries(config, codec, &codecPool, mapTasks[m], m,
@@ -357,8 +395,13 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
           // with intact segments; errors land in the slot (pool tasks must
           // not throw) and abort the shuffle after the map phase.
           try {
-            retryWithPolicy(config.shuffle_retry, testing::site::kShufflePublish,
-                            [&] { server.publish(m, output->segments); });
+            retryWithPolicy(
+                config.shuffle_retry, testing::site::kShufflePublish,
+                [&] { server.publish(m, output->segments); },
+                [&](int attempt, const std::string&) {
+                  obs::emitEvent(obs::event::kShufflePublishRetry,
+                                 testing::site::kShufflePublish, static_cast<u64>(attempt));
+                });
           } catch (...) {
             errors.record();
           }
@@ -371,7 +414,11 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   }
   const u64 mapEnd = nowUs();
   result.timings.map_phase_us = mapEnd - jobStart;
-  if (errors.any()) server.abort();  // a map never published; unblock fetchers
+  if (errors.any()) {
+    // A map never published; unblock fetchers.
+    server.abort();
+    obs::emitEvent(obs::event::kShuffleAbort, testing::site::kShufflePublish);
+  }
 
   reducePool.wait();
   const u64 jobEnd = nowUs();
@@ -398,6 +445,16 @@ struct ActiveTraceGuard {
   ~ActiveTraceGuard() { obs::setActiveTrace(nullptr); }
 };
 
+/// Same pattern for the metrics stream: structured events (retry, corruption,
+/// backpressure) reach the JSONL file only while a job with a metrics_path is
+/// running; emitEvent() is a single relaxed load otherwise.
+struct ActiveMetricsGuard {
+  explicit ActiveMetricsGuard(obs::MetricsStream* stream) {
+    if (stream != nullptr) obs::setActiveMetrics(stream);
+  }
+  ~ActiveMetricsGuard() { obs::setActiveMetrics(nullptr); }
+};
+
 }  // namespace
 
 JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
@@ -412,15 +469,38 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
   if (!config.trace_path.empty() || config.collect_histograms) {
     recorder = std::make_unique<obs::TraceRecorder>();
   }
+  std::unique_ptr<obs::MetricsStream> metrics;
+  if (!config.metrics_path.empty()) {
+    metrics = std::make_unique<obs::MetricsStream>(config.metrics_path, config.sample_interval_ms);
+  }
 
   JobResult result;
+  std::map<std::string, obs::GaugeRollup> rollups;
   {
     ActiveTraceGuard guard(recorder.get());
-    obs::ScopedSpan jobSpan("job", "job");
-    jobSpan.arg("map_tasks", mapTasks.size());
-    jobSpan.arg("reducers", static_cast<u64>(config.num_reducers));
-    result = config.shuffle_pipeline ? runJobPipelined(config, mapTasks, reduce, codecPtr.get())
-                                     : runJobSerial(config, mapTasks, reduce, codecPtr.get());
+    ActiveMetricsGuard metricsGuard(metrics.get());
+    // The shared byte pool is process-global, so its gauges register for the
+    // job's duration rather than for a component's lifetime.
+    VectorPool<u8>& bytePool = sharedBytePool();
+    obs::GaugeRegistration poolOutstanding =
+        obs::processGauges().add(obs::gauge::kPoolOutstandingBytes,
+                                 [&bytePool] { return bytePool.outstandingBytes(); });
+    obs::GaugeRegistration poolHwm = obs::processGauges().add(
+        obs::gauge::kPoolHwmBytes, [&bytePool] { return bytePool.hwmBytes(); });
+    obs::Sampler sampler(config.sample_interval_ms, obs::processGauges(), recorder.get(),
+                         metrics.get());
+    sampler.start();
+    {
+      obs::ScopedSpan jobSpan("job", "job");
+      jobSpan.arg("map_tasks", mapTasks.size());
+      jobSpan.arg("reducers", static_cast<u64>(config.num_reducers));
+      result = config.shuffle_pipeline
+                   ? runJobPipelined(config, mapTasks, reduce, codecPtr.get())
+                   : runJobSerial(config, mapTasks, reduce, codecPtr.get());
+    }
+    sampler.stop();  // takes the final sample before the gauges unregister
+    rollups = sampler.rollups();
+    if (metrics != nullptr) metrics->writeSummary(rollups);
   }
 
   // Job-level resident peak is the max over reduce tasks, not the sum the
@@ -438,6 +518,11 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
     if (config.collect_histograms) result.telemetry = obs::telemetryFromSpans(spans);
     result.telemetry.span_count = spans.size();
     if (!config.trace_path.empty()) recorder->writeChromeTrace(config.trace_path);
+  }
+  // After telemetryFromSpans, which replaces `telemetry` wholesale.
+  for (const auto& [name, r] : rollups) {
+    result.telemetry.gauges[name + ".max"] = r.max;
+    result.telemetry.gauges[name + ".mean"] = static_cast<u64>(r.mean() + 0.5);
   }
   result.telemetry.counters = result.counters.snapshot();
   return result;

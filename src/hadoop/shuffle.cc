@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics_stream.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "testing/fault_injector.h"
 
@@ -43,6 +45,8 @@ void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
     if (firstPublishUs_ == 0) firstPublishUs_ = nowUs();
     if (retain_) store_[mapIndex] = segments;  // pristine copies for refetch()
     for (std::size_t r = 0; r < queues_.size(); ++r) {
+      ++pendingSegments_;
+      pendingBytes_ += segments[r].size();
       queues_[r].push_back(Fetched{mapIndex, std::move(segments[r])});
     }
   }
@@ -52,6 +56,8 @@ void ShuffleServer::publish(std::size_t mapIndex, std::vector<Bytes> segments) {
 std::optional<ShuffleServer::Fetched> ShuffleServer::fetch(int reducer) {
   const auto r = static_cast<std::size_t>(reducer);
   Fetched out;
+  u64 stallStartUs = 0;
+  u64 stallEndUs = 0;
   {
     MutexLock lock(mutex_);
     // Injection happens outside the lock (a delay must not serialize
@@ -59,7 +65,13 @@ std::optional<ShuffleServer::Fetched> ShuffleServer::fetch(int reducer) {
     // consumed — so a thrown IoError loses nothing and a retry re-fetches it.
     bool injected = faults_ == nullptr;
     for (;;) {
+      // A reducer about to block here is stalled behind map stragglers; the
+      // wait is reported as one backpressure event (outside the lock below).
+      if (stallStartUs == 0 && !aborted_ && queues_[r].empty() && published_ != numMaps_) {
+        stallStartUs = nowUs();
+      }
       while (!aborted_ && queues_[r].empty() && published_ != numMaps_) arrived_.wait(lock);
+      if (stallStartUs != 0 && stallEndUs == 0) stallEndUs = nowUs();
       if (aborted_) throw std::runtime_error("shuffle aborted: a map task failed permanently");
       if (injected) break;
       injected = true;
@@ -70,7 +82,13 @@ std::optional<ShuffleServer::Fetched> ShuffleServer::fetch(int reducer) {
     if (queues_[r].empty()) return std::nullopt;  // all maps published, queue drained
     out = std::move(queues_[r].front());
     queues_[r].pop_front();
+    --pendingSegments_;
+    pendingBytes_ -= std::min<u64>(pendingBytes_, out.segment.size());
     lastFetchUs_ = nowUs();
+  }
+  if (stallStartUs != 0) {
+    obs::emitEvent(obs::event::kShuffleBackpressureWait, testing::site::kShuffleFetch,
+                   stallEndUs - std::min(stallEndUs, stallStartUs));
   }
   if (faults_ != nullptr) {
     // Models in-transit corruption (outside the lock): the popped copy is
@@ -104,6 +122,16 @@ u64 ShuffleServer::firstPublishUs() const {
 u64 ShuffleServer::lastFetchUs() const {
   MutexLock lock(mutex_);
   return lastFetchUs_;
+}
+
+std::size_t ShuffleServer::pendingSegments() const {
+  MutexLock lock(mutex_);
+  return pendingSegments_;
+}
+
+u64 ShuffleServer::pendingBytes() const {
+  MutexLock lock(mutex_);
+  return pendingBytes_;
 }
 
 }  // namespace scishuffle::hadoop

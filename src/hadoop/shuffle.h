@@ -63,12 +63,20 @@ class ShuffleServer {
   u64 firstPublishUs() const;
   u64 lastFetchUs() const;
 
+  /// Segments published but not yet fetched, summed over reducer queues —
+  /// the shuffle's in-flight backlog. Gauge accessors for the telemetry
+  /// sampler (`shuffle.inflight_segments` / `shuffle.pending_bytes`).
+  std::size_t pendingSegments() const;
+  u64 pendingBytes() const;
+
  private:
   mutable Mutex mutex_;
   CondVar arrived_;
   std::vector<std::deque<Fetched>> queues_ GUARDED_BY(mutex_);  // per reducer
   // Per map: pristine copies (retain mode).
   std::vector<std::vector<Bytes>> store_ GUARDED_BY(mutex_);
+  std::size_t pendingSegments_ GUARDED_BY(mutex_) = 0;
+  u64 pendingBytes_ GUARDED_BY(mutex_) = 0;
   std::size_t published_ GUARDED_BY(mutex_) = 0;
   bool aborted_ GUARDED_BY(mutex_) = false;
   u64 firstPublishUs_ GUARDED_BY(mutex_) = 0;

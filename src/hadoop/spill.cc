@@ -25,7 +25,13 @@ std::filesystem::path uniqueSpillPath(const std::filesystem::path& dir, std::siz
 
 MapOutputBuffer::MapOutputBuffer(const JobConfig& config, const Codec* codec, Counters& counters,
                                  ThreadPool* codecPool)
-    : config_(&config), codec_(codec), counters_(&counters), codecPool_(codecPool) {
+    : config_(&config),
+      codec_(codec),
+      counters_(&counters),
+      codecPool_(codecPool),
+      bufferedGauge_(obs::processGauges().add(obs::gauge::kSpillBufferedBytes, [this] {
+        return static_cast<u64>(bufferedBytes_.load(std::memory_order_relaxed));
+      })) {
   buffer_.resize(static_cast<std::size_t>(config.num_reducers));
 }
 
@@ -63,9 +69,9 @@ void MapOutputBuffer::collect(int partition, KeyValue kv) {
   check(partition >= 0 && partition < config_->num_reducers, "partition out of range");
   counters_->add(counter::kMapOutputRecords, 1);
   counters_->add(counter::kMapOutputBytes, kv.key.size() + kv.value.size());
-  bufferedBytes_ += kv.key.size() + kv.value.size();
+  bufferedBytes_.fetch_add(kv.key.size() + kv.value.size(), std::memory_order_relaxed);
   buffer_[static_cast<std::size_t>(partition)].push_back(std::move(kv));
-  if (bufferedBytes_ >= config_->spill_buffer_bytes) spill();
+  if (bufferedBytes_.load(std::memory_order_relaxed) >= config_->spill_buffer_bytes) spill();
 }
 
 std::vector<KeyValue> MapOutputBuffer::sortAndCombine(std::vector<KeyValue>&& records,
@@ -104,7 +110,7 @@ std::vector<KeyValue> MapOutputBuffer::sortAndCombine(std::vector<KeyValue>&& re
 
 void MapOutputBuffer::spill() {
   obs::ScopedSpan span("spill", "spill");
-  span.arg("buffered_bytes", bufferedBytes_);
+  span.arg("buffered_bytes", bufferedBytes_.load(std::memory_order_relaxed));
   const bool toDisk = !config_->spill_dir.empty();
   Spill spill;
   spill.segments.resize(buffer_.size());
@@ -123,7 +129,7 @@ void MapOutputBuffer::spill() {
     }
   }
   spills_.push_back(std::move(spill));
-  bufferedBytes_ = 0;
+  bufferedBytes_.store(0, std::memory_order_relaxed);
 }
 
 Bytes MapOutputBuffer::segmentBytes(const Spill& s, std::size_t partition) const {

@@ -8,6 +8,7 @@
 // cost model stays honest.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "hadoop/ifile.h"
 #include "hadoop/job.h"
 #include "io/thread_pool.h"
+#include "obs/sampler.h"
 
 namespace scishuffle::hadoop {
 
@@ -58,8 +60,13 @@ class MapOutputBuffer {
   Counters* counters_;
   ThreadPool* codecPool_;
   std::vector<std::vector<KeyValue>> buffer_;  // per partition
-  std::size_t bufferedBytes_ = 0;
+  // Atomic (relaxed) because the telemetry sampler reads it from its own
+  // thread while collect()/spill() update it on the task thread.
+  std::atomic<std::size_t> bufferedBytes_{0};
   std::vector<Spill> spills_;
+  // Declared last: unregisters first on destruction, so the sampler can
+  // never read bufferedBytes_ after (or while) the buffer is torn down.
+  obs::GaugeRegistration bufferedGauge_;
 };
 
 }  // namespace scishuffle::hadoop

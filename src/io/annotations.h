@@ -18,6 +18,7 @@
 //     `REQUIRES(mutex_)` and contain no locking themselves.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -117,6 +118,15 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait for periodic background threads (the obs sampler): returns
+  /// true when notified, false on timeout. The lock is held again either
+  /// way, so callers re-check their condition exactly as with wait().
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

@@ -14,6 +14,8 @@
 // single pool may be shared by every worker in a ThreadPool.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -58,11 +60,13 @@ class VectorPool {
     }
     v.clear();
     if (reserveHint > 0) v.reserve(reserveHint);
+    addOutstanding(v.capacity() * sizeof(T));
     return v;
   }
 
   /// Returns a buffer's storage to the pool (contents are discarded).
   void release(std::vector<T> v) {
+    subOutstanding(v.capacity() * sizeof(T));
     if (v.capacity() == 0 || v.capacity() > maxEntryElements_) return;
     v.clear();
     MutexLock lock(mu_);
@@ -103,7 +107,34 @@ class VectorPool {
     return free_.size();
   }
 
+  /// Bytes currently leased out (acquired, not yet released), approximated
+  /// by each buffer's capacity at the acquire/release boundary. A buffer
+  /// that grows mid-lease is counted at release with its grown capacity, so
+  /// the subtraction saturates at zero instead of wrapping; the high-water
+  /// mark is exact for the usual reserve-up-front callers. Lock-free reads —
+  /// these back the `pool.shared_bytes.*` gauges sampled from the telemetry
+  /// thread (docs/OBSERVABILITY.md).
+  u64 outstandingBytes() const { return outstandingBytes_.load(std::memory_order_relaxed); }
+
+  /// High-water mark of outstandingBytes() since construction.
+  u64 hwmBytes() const { return hwmBytes_.load(std::memory_order_relaxed); }
+
  private:
+  void addOutstanding(u64 bytes) {
+    if (bytes == 0) return;
+    const u64 now = outstandingBytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    u64 hwm = hwmBytes_.load(std::memory_order_relaxed);
+    while (now > hwm &&
+           !hwmBytes_.compare_exchange_weak(hwm, now, std::memory_order_relaxed)) {
+    }
+  }
+  void subOutstanding(u64 bytes) {
+    u64 cur = outstandingBytes_.load(std::memory_order_relaxed);
+    while (!outstandingBytes_.compare_exchange_weak(cur, cur - std::min(cur, bytes),
+                                                    std::memory_order_relaxed)) {
+    }
+  }
+
   const std::size_t maxEntries_;
   const std::size_t maxEntryElements_;
   mutable Mutex mu_;
@@ -111,6 +142,8 @@ class VectorPool {
   u64 acquires_ GUARDED_BY(mu_) = 0;
   u64 reuses_ GUARDED_BY(mu_) = 0;
   u64 returns_ GUARDED_BY(mu_) = 0;
+  std::atomic<u64> outstandingBytes_{0};
+  std::atomic<u64> hwmBytes_{0};
 };
 
 /// Process-wide pool of byte buffers shared by the block-framed spill path

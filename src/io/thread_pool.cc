@@ -31,6 +31,18 @@ void ThreadPool::wait() {
   while (inFlight_ != 0) idle_.wait(lock);
 }
 
+std::size_t ThreadPool::queueDepth() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
+}
+
+int ThreadPool::activeWorkers() const {
+  // inFlight_ counts submitted-but-unfinished tasks; subtracting the queued
+  // ones leaves the tasks a worker is executing right now.
+  MutexLock lock(mutex_);
+  return inFlight_ - static_cast<int>(queue_.size());
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;

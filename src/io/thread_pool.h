@@ -45,11 +45,18 @@ class ThreadPool {
 
   int slots() const { return slots_; }
 
+  /// Tasks submitted but not yet picked up by a worker. Gauge accessor for
+  /// the telemetry sampler (`threadpool.queue_depth`); safe from any thread.
+  std::size_t queueDepth() const;
+
+  /// Workers currently executing a task (`threadpool.active_workers`).
+  int activeWorkers() const;
+
  private:
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  mutable Mutex mutex_;
   CondVar wake_;
   CondVar idle_;
   std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);

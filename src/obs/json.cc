@@ -1,7 +1,9 @@
 #include "obs/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <version>
 
 namespace scishuffle::obs {
 
@@ -131,9 +133,21 @@ JsonWriter& JsonWriter::value(double v) {
   if (!std::isfinite(v)) {
     raw("null");  // JSON has no NaN/Inf
   } else {
+    // Locale-independent: snprintf("%g") obeys LC_NUMERIC and would emit a
+    // decimal comma (invalid JSON) under e.g. de_DE. std::to_chars always
+    // uses '.' and its default form is the shortest representation that
+    // round-trips exactly, which is what the metrics round-trip tests pin.
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    raw(std::string_view(buf, static_cast<std::size_t>(res.ptr - buf)));
+#else
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (char* p = buf; *p != '\0'; ++p) {
+      if (*p == ',') *p = '.';  // defang a decimal-comma locale
+    }
     raw(buf);
+#endif
   }
   if (stack_.empty()) rootClosed_ = true;
   return *this;

@@ -1,0 +1,357 @@
+#include "obs/stat.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/sampler.h"
+
+namespace scishuffle::obs {
+
+namespace {
+
+// ---- Minimal JSON value parser --------------------------------------------
+// The stream is machine-written one-object-per-line, but `stat` accepts
+// user-supplied files, so this is a real (small) recursive parser rather
+// than string matching. Failure = std::nullopt-style bool return; the
+// caller tolerates bad lines.
+
+struct JVal {
+  enum Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  bool boolean = false;
+  double num = 0;
+  std::string str;
+  std::vector<JVal> arr;
+  std::map<std::string, JVal> obj;
+
+  const JVal* find(const std::string& key) const {
+    if (kind != kObj) return nullptr;
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  u64 asU64(u64 fallback = 0) const {
+    if (kind != kNum || num < 0) return fallback;
+    return static_cast<u64>(num);
+  }
+};
+
+class JsonLineParser {
+ public:
+  explicit JsonLineParser(const std::string& text) : s_(text) {}
+
+  bool parse(JVal& out) {
+    skipWs();
+    if (!parseValue(out)) return false;
+    skipWs();
+    return pos_ == s_.size();  // trailing garbage = not a clean JSON line
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JVal& out) {
+    skipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': out.kind = JVal::kStr; return parseString(out.str);
+      case 't':
+        out.kind = JVal::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JVal::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n': out.kind = JVal::kNull; return literal("null");
+      default: return parseNumber(out);
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string_view(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parseNumber(JVal& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out.kind = JVal::kNum;
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // The writer only escapes ASCII control characters; anything else
+          // is preserved verbatim, so a one-byte cast is faithful here.
+          out += static_cast<char>(code & 0x7f);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseObject(JVal& out) {
+    if (!eat('{')) return false;
+    out.kind = JVal::kObj;
+    skipWs();
+    if (eat('}')) return true;
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (!eat(':')) return false;
+      JVal v;
+      if (!parseValue(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parseArray(JVal& out) {
+    if (!eat('[')) return false;
+    out.kind = JVal::kArr;
+    skipWs();
+    if (eat(']')) return true;
+    for (;;) {
+      JVal v;
+      if (!parseValue(v)) return false;
+      out.arr.push_back(std::move(v));
+      skipWs();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Rendering helpers -----------------------------------------------------
+
+bool isByteGauge(const std::string& name) {
+  return name.size() >= 6 && name.compare(name.size() - 6, 6, "_bytes") == 0;
+}
+
+std::string formatValue(const std::string& gaugeName, double v) {
+  char buf[48];
+  if (isByteGauge(gaugeName)) {
+    static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    while (v >= 1024.0 && unit < 4) {
+      v /= 1024.0;
+      ++unit;
+    }
+    std::snprintf(buf, sizeof(buf), unit == 0 ? "%.0f %s" : "%.1f %s", v, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+MetricsSummary summarizeMetricsJsonl(std::istream& in) {
+  MetricsSummary summary;
+  std::map<std::string, std::vector<u64>> sampleValues;
+  std::map<std::string, u64> sums;
+  bool sawTs = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JVal v;
+    if (!JsonLineParser(line).parse(v) || v.kind != JVal::kObj) {
+      ++summary.skipped_lines;
+      continue;
+    }
+    const JVal* type = v.find("type");
+    if (type == nullptr || type->kind != JVal::kStr) {
+      ++summary.skipped_lines;
+      continue;
+    }
+    if (type->str == "header") {
+      if (const JVal* schema = v.find("schema")) summary.schema = schema->str;
+      if (const JVal* interval = v.find("interval_ms")) summary.interval_ms = interval->asU64();
+      continue;
+    }
+    const u64 ts = v.find("ts_us") != nullptr ? v.find("ts_us")->asU64() : 0;
+    if (type->str == "sample") {
+      const JVal* gauges = v.find("gauges");
+      if (gauges == nullptr || gauges->kind != JVal::kObj) {
+        ++summary.skipped_lines;
+        continue;
+      }
+      ++summary.samples;
+      for (const auto& [name, val] : gauges->obj) {
+        const u64 value = val.asU64();
+        sampleValues[name].push_back(value);
+        sums[name] += value;
+        GaugeTimeline& t = summary.gauges[name];
+        if (sampleValues[name].size() == 1 || value > t.peak) {
+          t.peak = value;
+          t.peak_ts_us = ts;
+        }
+      }
+    } else if (type->str == "event") {
+      const JVal* name = v.find("name");
+      if (name == nullptr || name->kind != JVal::kStr) {
+        ++summary.skipped_lines;
+        continue;
+      }
+      ++summary.events;
+      ++summary.event_counts[name->str];
+    } else if (type->str == "summary") {
+      continue;  // recomputed from the raw lines, never trusted
+    } else {
+      ++summary.skipped_lines;
+      continue;
+    }
+    if (!sawTs) {
+      summary.first_ts_us = ts;
+      sawTs = true;
+    }
+    summary.last_ts_us = std::max(summary.last_ts_us, ts);
+  }
+
+  for (auto& [name, values] : sampleValues) {
+    GaugeTimeline& t = summary.gauges[name];
+    t.samples = values.size();
+    t.mean = static_cast<double>(sums[name]) / static_cast<double>(values.size());
+    std::sort(values.begin(), values.end());
+    // Nearest-rank p95: ceil(0.95 * n), 1-based.
+    const std::size_t rank =
+        static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(values.size())));
+    t.p95 = values[std::max<std::size_t>(rank, 1) - 1];
+  }
+  return summary;
+}
+
+MetricsSummary summarizeMetricsFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw std::runtime_error("stat: cannot open metrics file " + path.string());
+  }
+  return summarizeMetricsJsonl(in);
+}
+
+void renderMetricsSummary(const MetricsSummary& summary, std::ostream& out) {
+  const double spanS =
+      static_cast<double>(summary.last_ts_us - std::min(summary.first_ts_us, summary.last_ts_us)) /
+      1e6;
+  char spanBuf[32];
+  std::snprintf(spanBuf, sizeof(spanBuf), "%.3f", spanS);
+  out << "metrics: " << (summary.schema.empty() ? "(no header line)" : summary.schema)
+      << "  interval " << summary.interval_ms << " ms  " << summary.samples << " samples  "
+      << summary.events << " events  span " << spanBuf << " s\n";
+  if (summary.skipped_lines > 0) {
+    out << "warning: " << summary.skipped_lines << " unparseable line(s) skipped\n";
+  }
+
+  // Headline: the question `stat` exists to answer without a trace UI.
+  const auto rss = summary.gauges.find(gauge::kProcessRssBytes);
+  if (rss != summary.gauges.end()) {
+    const double toPeakS =
+        static_cast<double>(rss->second.peak_ts_us -
+                            std::min(summary.first_ts_us, rss->second.peak_ts_us)) /
+        1e6;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", toPeakS);
+    out << "peak RSS " << formatValue(gauge::kProcessRssBytes, static_cast<double>(rss->second.peak))
+        << " at +" << buf << " s\n";
+  }
+
+  if (!summary.gauges.empty()) {
+    out << "\n";
+    char header[160];
+    std::snprintf(header, sizeof(header), "%-36s %12s %9s %12s %12s\n", "gauge", "peak", "@ s",
+                  "mean", "p95");
+    out << header;
+    for (const auto& [name, t] : summary.gauges) {
+      const double atS =
+          static_cast<double>(t.peak_ts_us - std::min(summary.first_ts_us, t.peak_ts_us)) / 1e6;
+      char row[256];
+      std::snprintf(row, sizeof(row), "%-36s %12s %9.3f %12s %12s\n", name.c_str(),
+                    formatValue(name, static_cast<double>(t.peak)).c_str(), atS,
+                    formatValue(name, t.mean).c_str(),
+                    formatValue(name, static_cast<double>(t.p95)).c_str());
+      out << row;
+    }
+  }
+
+  if (!summary.event_counts.empty()) {
+    out << "\nevents:\n";
+    for (const auto& [name, count] : summary.event_counts) {
+      char row[128];
+      std::snprintf(row, sizeof(row), "  %-34s %8llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+      out << row;
+    }
+  }
+}
+
+}  // namespace scishuffle::obs

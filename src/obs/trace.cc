@@ -48,9 +48,26 @@ void TraceRecorder::record(Span span) {
   spans_.push_back(std::move(span));
 }
 
+u64 TraceRecorder::recordCounters(const std::map<std::string, u64>& values) {
+  MutexLock lock(mutex_);
+  // The timestamp is read under the lock: a later call always gets a later
+  // (or equal) steady-clock reading, so the counter track stays monotonic.
+  const u64 now = steadyNowUs();
+  const u64 ts = now >= epochUs_ ? now - epochUs_ : 0;
+  for (const auto& [name, value] : values) {
+    counters_.push_back(CounterSample{name, ts, value});
+  }
+  return ts;
+}
+
 std::vector<Span> TraceRecorder::snapshot() const {
   MutexLock lock(mutex_);
   return spans_;
+}
+
+std::vector<CounterSample> TraceRecorder::counterSamples() const {
+  MutexLock lock(mutex_);
+  return counters_;
 }
 
 std::size_t TraceRecorder::spanCount() const {
@@ -80,6 +97,19 @@ void TraceRecorder::writeChromeTrace(std::ostream& os) const {
       for (const auto& [key, value] : s.args) w.kv(key, value);
       w.endObject();
     }
+    w.endObject();
+  }
+  // Counter tracks after the spans: already in ts order (one lock assigns
+  // the timestamps), so the file diffs stably without a re-sort.
+  for (const CounterSample& c : counterSamples()) {
+    w.beginObject();
+    w.kv("name", c.name);
+    w.kv("ph", "C");
+    w.kv("ts", c.ts_us);
+    w.kv("pid", 1);
+    w.key("args").beginObject();
+    w.kv("value", c.value);
+    w.endObject();
     w.endObject();
   }
   w.endArray();

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -35,6 +36,15 @@ struct Span {
   std::vector<std::pair<std::string, u64>> args;
 };
 
+/// One "ph":"C" counter sample: a point on a named time-series track. The
+/// obs sampler appends these so chrome://tracing/Perfetto renders memory-
+/// and queue-depth-over-time alongside the spans.
+struct CounterSample {
+  std::string name;
+  u64 ts_us = 0;  // relative to the recorder epoch
+  u64 value = 0;
+};
+
 class TraceRecorder {
  public:
   TraceRecorder();
@@ -48,7 +58,14 @@ class TraceRecorder {
   /// Thread-safe; spans may arrive from any pool thread in any order.
   void record(Span span);
 
+  /// Records one counter sample per (name, value) pair, all sharing one
+  /// timestamp assigned under the recorder lock — so samples land on the
+  /// trace timeline in strictly non-decreasing ts order no matter which
+  /// thread takes them. Returns the assigned timestamp.
+  u64 recordCounters(const std::map<std::string, u64>& values);
+
   std::vector<Span> snapshot() const;
+  std::vector<CounterSample> counterSamples() const;
   std::size_t spanCount() const;
 
   /// Chrome trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
@@ -60,6 +77,7 @@ class TraceRecorder {
   const u64 epochUs_;  // steady-clock us at construction
   mutable Mutex mutex_;
   std::vector<Span> spans_ GUARDED_BY(mutex_);
+  std::vector<CounterSample> counters_ GUARDED_BY(mutex_);
   std::unordered_map<std::thread::id, u32> tids_ GUARDED_BY(mutex_);
 };
 

@@ -87,6 +87,20 @@ TEST(LintSimdKernels, MissingScalarReferenceIsReported) {
   EXPECT_TRUE(hasDiagnostic(diags, "simd.h", "does not appear elsewhere in this file"));
 }
 
+TEST(LintGauges, UndocumentedGaugeIsReportedWithFileAndLine) {
+  const auto diags = lint::checkGauges(fixture("undocumented_gauge"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/obs/sampler.h", "shadow.bytes"));
+  EXPECT_TRUE(hasDiagnostic(diags, "sampler.h", "not documented in docs/OBSERVABILITY.md"));
+  EXPECT_EQ(diags[0].line, 6);  // the kShadowBytes declaration line
+}
+
+TEST(LintGauges, DuplicateWireNameIsReported) {
+  const auto diags = lint::checkGauges(fixture("duplicate_gauge"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "sampler.h", "mapped by both kProcessRssBytes"));
+}
+
 TEST(LintMissingInputs, AbsentFilesProduceDiagnosticsNotCrashes) {
   const auto root = fixture("does_not_exist");
   EXPECT_FALSE(lint::checkCounters(root).empty());
@@ -94,6 +108,7 @@ TEST(LintMissingInputs, AbsentFilesProduceDiagnosticsNotCrashes) {
   EXPECT_FALSE(lint::checkSpans(root).empty());
   EXPECT_FALSE(lint::checkFaultSites(root).empty());
   EXPECT_FALSE(lint::checkSimdKernels(root).empty());
+  EXPECT_FALSE(lint::checkGauges(root).empty());
 }
 
 // The real tree must hold every invariant — the same gate `lint.repo` runs.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -60,6 +61,61 @@ TEST(JsonWriterTest, EscapesControlCharacters) {
   w.endObject();
   EXPECT_NE(os.str().find("\\u0001"), std::string::npos);
   EXPECT_NO_THROW(JsonParser::parse(os.str()));
+}
+
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  // Shortest-round-trip formatting: parsing the emitted text must recover
+  // the exact bit pattern for doubles across the magnitude range the
+  // metrics stream emits (means, fractional seconds, byte counts as f64).
+  const double cases[] = {0.0,  0.1,   -2.5,     1.0 / 3.0,          6.25e-3,
+                          1e-9, 1e300, 12345.75, 1.25e-7,            123456789.0,
+                          -0.5, 2.0,   1e21,     0.028999999999999998};
+  for (const double d : cases) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginArray();
+    w.value(d);
+    w.endArray();
+    const JsonValue v = JsonParser::parse(os.str());
+    ASSERT_EQ(v.array.size(), 1u) << os.str();
+    EXPECT_EQ(v.array[0].number, d) << "emitted: " << os.str();
+  }
+}
+
+TEST(JsonWriterTest, DoublesAreLocaleIndependentAndFiniteOnly) {
+  // The decimal separator must be '.' regardless of the C locale (a comma
+  // would corrupt every metrics/report consumer), and non-finite values —
+  // unrepresentable in JSON — degrade to null.
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginArray();
+  w.value(3.5);
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.endArray();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+  EXPECT_EQ(text.find("3,5"), std::string::npos);  // never a comma separator
+  const JsonValue v = JsonParser::parse(text);
+  ASSERT_EQ(v.array.size(), 4u);
+  EXPECT_EQ(v.array[1].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.array[2].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.array[3].kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonWriterTest, BoolsRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.beginObject();
+  w.kv("yes", true);
+  w.kv("no", false);
+  w.endObject();
+  EXPECT_NE(os.str().find("true"), std::string::npos);
+  EXPECT_NE(os.str().find("false"), std::string::npos);
+  const JsonValue v = JsonParser::parse(os.str());
+  EXPECT_TRUE(v.at("yes").boolean);
+  EXPECT_FALSE(v.at("no").boolean);
 }
 
 // ---------------------------------------------------------------- tracing

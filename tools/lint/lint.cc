@@ -323,10 +323,72 @@ std::vector<Diagnostic> checkSimdKernels(const fs::path& root) {
   return diags;
 }
 
+std::vector<Diagnostic> checkGauges(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string header = "src/obs/sampler.h";
+  std::vector<std::string> lines;
+  if (!readLines(root, header, lines, diags)) return diags;
+  const std::string docs = readAll(root, "docs/OBSERVABILITY.md", diags);
+  if (docs.empty()) return diags;
+
+  // Gauge names and structured-event names share one contract (both are wire
+  // names in the metrics.v1 stream), so both namespaces lint together.
+  const std::vector<NamedConstant> names = parseStringConstants(lines);
+  if (names.empty()) {
+    diags.push_back({header, 0,
+                     "no gauge/event constants parsed; declaration syntax changed under the "
+                     "linter?"});
+    return diags;
+  }
+
+  std::map<std::string, const NamedConstant*> byValue;
+  for (const auto& c : names) {
+    const auto [it, inserted] = byValue.emplace(c.value, &c);
+    if (!inserted) {
+      diags.push_back({header, c.line,
+                       "telemetry name \"" + c.value + "\" is mapped by both " +
+                           it->second->ident + " and " + c.ident +
+                           " (wire names must be unique)"});
+    }
+  }
+
+  const std::vector<SourceFile> sources = loadSources(root, diags);
+  for (const auto& c : names) {
+    if (docs.find("`" + c.value + "`") == std::string::npos) {
+      diags.push_back({header, c.line,
+                       "telemetry name " + c.ident + " (\"" + c.value +
+                           "\") is not documented in docs/OBSERVABILITY.md's gauge/event "
+                           "tables"});
+    }
+    // Referenced outside the declaring subsystem: the sampler injecting its
+    // own gauge does not keep the name alive — a component (or the stat
+    // renderer) must consume it.
+    bool referenced = false;
+    for (const auto& f : sources) {
+      if (f.relPath == header || f.relPath == "src/obs/sampler.cc") continue;
+      for (const auto& l : f.lines) {
+        if (l.find(c.ident) != std::string::npos) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) {
+      diags.push_back({header, c.line,
+                       "telemetry name " + c.ident + " (\"" + c.value +
+                           "\") is never referenced outside the sampler subsystem (dead gauge; "
+                           "register a source or remove it)"});
+    }
+  }
+  return diags;
+}
+
 int runAllChecks(const fs::path& root, std::ostream& os) {
   std::vector<Diagnostic> all;
   for (const auto& check :
-       {checkCounters, checkFormats, checkSpans, checkFaultSites, checkSimdKernels}) {
+       {checkCounters, checkFormats, checkSpans, checkFaultSites, checkSimdKernels,
+        checkGauges}) {
     auto diags = check(root);
     all.insert(all.end(), diags.begin(), diags.end());
   }

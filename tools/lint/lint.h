@@ -20,6 +20,10 @@
 //   * kernels    — every SCISHUFFLE_SIMD_KERNEL(kernel, scalarRef)
 //                  registration names a scalar reference defined in the same
 //                  file and a kernel documented in docs/PERFORMANCE.md.
+//   * gauges     — every gauge/event name constant in src/obs/sampler.h maps
+//                  to exactly one wire name, is referenced outside the
+//                  sampler subsystem (dead telemetry rots silently), and is
+//                  documented in docs/OBSERVABILITY.md's gauge/event tables.
 //
 // Each check takes the repo root, reads only the files it names, and returns
 // diagnostics carrying file:line so CI output is clickable. Header
@@ -48,6 +52,7 @@ std::vector<Diagnostic> checkFormats(const std::filesystem::path& root);
 std::vector<Diagnostic> checkSpans(const std::filesystem::path& root);
 std::vector<Diagnostic> checkFaultSites(const std::filesystem::path& root);
 std::vector<Diagnostic> checkSimdKernels(const std::filesystem::path& root);
+std::vector<Diagnostic> checkGauges(const std::filesystem::path& root);
 
 /// Runs every check, prints diagnostics to `os`, returns the total count.
 int runAllChecks(const std::filesystem::path& root, std::ostream& os);

@@ -1,0 +1,7 @@
+// Fixture: two constants collide on the same wire name.
+#pragma once
+
+namespace gauge {
+inline constexpr const char* kProcessRssBytes = "process.rss_bytes";
+inline constexpr const char* kResidentBytes = "process.rss_bytes";
+}  // namespace gauge

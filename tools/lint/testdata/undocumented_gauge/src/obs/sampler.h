@@ -1,0 +1,7 @@
+// Fixture: kShadowBytes is referenced but missing from the docs tables.
+#pragma once
+
+namespace gauge {
+inline constexpr const char* kProcessRssBytes = "process.rss_bytes";
+inline constexpr const char* kShadowBytes = "shadow.bytes";
+}  // namespace gauge

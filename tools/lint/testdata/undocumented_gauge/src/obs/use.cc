@@ -1,0 +1,4 @@
+// Fixture: references both constants so only the doc check can fire.
+#include "obs/sampler.h"
+const char* a = gauge::kProcessRssBytes;
+const char* b = gauge::kShadowBytes;
