@@ -55,6 +55,8 @@ BlockCompressedWriter::Sealed BlockCompressedWriter::compressBlock(Bytes raw) co
     // pending block (or a decode-side buffer); the pool locks internally.
     sharedBytePool().release(std::move(raw));
   } else {
+    // The pool-acquired raw block *is* the output; its lease ends when the
+    // Sealed is consumed (close() or the destructor releases it).
     s.compressed = std::move(raw);
   }
   cpuUs_.fetch_add(nowUs() - start, std::memory_order_relaxed);
@@ -92,6 +94,26 @@ void BlockCompressedWriter::write(ByteSpan data) {
   }
 }
 
+BlockCompressedWriter::~BlockCompressedWriter() {
+  // Join first — a task captures `this` — then settle the pool account: with
+  // codec == nullptr a Sealed's `compressed` is the pool-acquired raw block
+  // still on lease (see compressBlock); with a codec the lease already ended
+  // inside compressBlock, so the output is plain codec storage.
+  for (auto& f : inFlight_) {
+    try {
+      Sealed s = f.get();
+      if (codec_ == nullptr) sharedBytePool().release(std::move(s.compressed));
+    } catch (...) {
+      // A failed compression task never produced (or already freed) output;
+      // teardown has nothing to return.
+    }
+  }
+  if (codec_ == nullptr) {
+    for (Sealed& s : sealed_) sharedBytePool().release(std::move(s.compressed));
+  }
+  if (pending_.capacity() != 0) sharedBytePool().release(std::move(pending_));
+}
+
 Bytes BlockCompressedWriter::close() {
   check(!closed_, "double close");
   closed_ = true;
@@ -101,14 +123,19 @@ Bytes BlockCompressedWriter::close() {
   MemorySink sink(out);
   sink.write(ByteSpan(kBlockFrameMagic, sizeof(kBlockFrameMagic)));
   sink.writeByte(kBlockFrameVersion);
-  const auto emit = [&](const Sealed& s) {
+  const auto emit = [&](Sealed s) {
     writeVLong(sink, static_cast<i64>(s.rawLen));
     writeVLong(sink, static_cast<i64>(s.compressed.size()));
     writeU32(sink, s.crc);
     sink.write(s.compressed);
+    // Null codec: `compressed` is the pool-acquired raw block (see
+    // compressBlock); its lease ends here, once the bytes are copied out.
+    if (codec_ == nullptr) sharedBytePool().release(std::move(s.compressed));
   };
   for (auto& f : inFlight_) emit(f.get());  // in seal order: deterministic bytes
-  for (const Sealed& s : sealed_) emit(s);
+  inFlight_.clear();
+  for (Sealed& s : sealed_) emit(std::move(s));
+  sealed_.clear();
   writeVLong(sink, -1);
   // v2 trailer: total block count, so a forged end marker (one flipped bit in
   // a rawLen vlong) cannot silently truncate the stream.
@@ -226,8 +253,18 @@ BlockDecodeSource::BlockDecodeSource(ByteSpan stream, const Codec* codec, Thread
     : reader_(stream, codec, faults), pool_(prefetchPool) {}
 
 BlockDecodeSource::~BlockDecodeSource() {
-  // A decode-ahead task captures `this`; never let it outlive us.
-  if (ahead_.has_value()) ahead_->wait();
+  // A decode-ahead task captures `this`; never let it outlive us. Decoded
+  // blocks are codec output (never pool-acquired), so an abandoned source —
+  // a cancelled merge, an exception mid-read — donates them: the storage is
+  // recycled without touching the outstanding-bytes account.
+  if (ahead_.has_value()) {
+    try {
+      sharedBytePool().donate(ahead_->get());
+    } catch (...) {
+      // A decode error surfaces on the consuming path; teardown ignores it.
+    }
+  }
+  sharedBytePool().donate(std::move(current_));
 }
 
 void BlockDecodeSource::scheduleAhead() {
@@ -242,7 +279,10 @@ bool BlockDecodeSource::advance() {
   if (exhausted_) return false;
   // The fully consumed block's storage feeds the shared pool; decode-side
   // buffers get recycled into the writer's pending blocks and vice versa.
-  sharedBytePool().release(std::move(current_));
+  // Donated, not released: the block came out of the codec, not out of an
+  // acquire, so releasing it would phantom-subtract from the outstanding
+  // account (and mask real leaks on the writer side).
+  sharedBytePool().donate(std::move(current_));
   current_.clear();
   if (ahead_.has_value()) {
     Bytes next = ahead_->get();  // rethrows decode errors from the pool

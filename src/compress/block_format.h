@@ -45,6 +45,15 @@ class BlockCompressedWriter {
                                  std::size_t blockBytes = kBlockFrameDefaultBlockBytes,
                                  ThreadPool* pool = nullptr);
 
+  /// An abandoned writer (a job cancelled mid-spill, an exception between
+  /// write() and close()) joins its in-flight compression tasks and returns
+  /// every pool-acquired buffer to sharedBytePool, so cancellation never
+  /// leaks outstanding-bytes accounting.
+  ~BlockCompressedWriter();
+
+  BlockCompressedWriter(const BlockCompressedWriter&) = delete;
+  BlockCompressedWriter& operator=(const BlockCompressedWriter&) = delete;
+
   void write(ByteSpan data);
 
   /// Flushes the tail block and the end marker; no writes afterwards.

@@ -44,6 +44,9 @@ inline constexpr const char* kSegmentsRefetched = "SEGMENTS_REFETCHED";
 inline constexpr const char* kKeySplitsRouting = "KEY_SPLITS_ROUTING";
 inline constexpr const char* kKeySplitsOverlap = "KEY_SPLITS_OVERLAP";
 inline constexpr const char* kAggregateFlushes = "AGGREGATE_FLUSHES";
+// Memory-governor backpressure: segments the shuffle spilled to the overflow
+// directory instead of keeping resident (docs/SERVICE.md).
+inline constexpr const char* kShuffleSegmentsOverflowed = "SHUFFLE_SEGMENTS_OVERFLOWED";
 // CPU accounting for the cluster cost model (microseconds).
 inline constexpr const char* kMapCpuUs = "MAP_CPU_US";
 inline constexpr const char* kCodecCompressCpuUs = "CODEC_COMPRESS_CPU_US";

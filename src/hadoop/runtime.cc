@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <fstream>
+#include <iterator>
+#include <optional>
 #include <thread>
 
 #include "compress/block_format.h"
@@ -12,6 +15,7 @@
 #include "hadoop/shuffle.h"
 #include "io/annotations.h"
 #include "io/buffer_pool.h"
+#include "io/task_tag.h"
 #include "io/thread_pool.h"
 #include "obs/metrics_stream.h"
 #include "obs/sampler.h"
@@ -33,6 +37,37 @@ int codecPoolThreads(const JobConfig& config) {
   if (config.codec_threads > 0) return config.codec_threads;
   return std::max(1u, std::thread::hardware_concurrency());
 }
+
+bool cancelRequested(const JobContext* ctx) {
+  return ctx != nullptr && ctx->cancelled != nullptr &&
+         ctx->cancelled->load(std::memory_order_relaxed);
+}
+
+/// Reads a shuffle overflow file back into memory (reduce-side merge needs
+/// the bytes resident; the shuffle window did not).
+Bytes readOverflowFile(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  check(in.good(), "cannot open shuffle overflow file for merge");
+  return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+/// Announces the job's ShuffleServer to the hosting service (the memory
+/// governor adjusts its pending-bytes limit, cancel() aborts it). Declared
+/// right after the server so detach runs before the server is destroyed.
+struct FleetAttachGuard {
+  FleetAttachGuard(const JobContext* ctx, ShuffleServer& server) : ctx_(ctx), server_(server) {
+    if (ctx_ != nullptr && ctx_->attach_shuffle) ctx_->attach_shuffle(server_);
+  }
+  ~FleetAttachGuard() {
+    if (ctx_ != nullptr && ctx_->detach_shuffle) ctx_->detach_shuffle(server_);
+  }
+  FleetAttachGuard(const FleetAttachGuard&) = delete;
+  FleetAttachGuard& operator=(const FleetAttachGuard&) = delete;
+
+ private:
+  const JobContext* ctx_;
+  ShuffleServer& server_;
+};
 
 /// Registers a ThreadPool's queue-depth/active-workers gauges for the pool's
 /// lifetime; every live pool registers under the same names, so the sampler
@@ -243,7 +278,7 @@ void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, Threa
 /// then the reduce phase. Kept for one release as the A/B baseline for the
 /// pipelined shuffle.
 JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapTasks,
-                       const ReduceFn& reduce, const Codec* codec) {
+                       const ReduceFn& reduce, const Codec* codec, const JobContext* ctx) {
   JobResult result;
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
@@ -259,12 +294,14 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
     PoolGauges poolGauges(pool);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       pool.submit([&, m] {
+        if (cancelRequested(ctx)) return;  // cancelled: stop scheduling work
         mapOutputs[m] = runMapTaskWithRetries(config, codec, nullptr, mapTasks[m], m,
                                               result.map_tasks[m], result.counters, errors);
       });
     }
     pool.wait();
   }
+  if (cancelRequested(ctx)) throw JobCancelledError();
   errors.rethrowIfSet();
   result.timings.map_phase_us = nowUs() - mapStart;
 
@@ -296,6 +333,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
     PoolGauges poolGauges(pool);
     for (int r = 0; r < config.num_reducers; ++r) {
       pool.submit([&, r] {
+        if (cancelRequested(ctx)) return;
         const std::vector<Bytes> segments =
             std::move(reducerSegments[static_cast<std::size_t>(r)]);
         runReduceTaskWithRetries(config, codec, nullptr, reduce, segments, result, outputsMutex,
@@ -304,6 +342,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
     }
     pool.wait();
   }
+  if (cancelRequested(ctx)) throw JobCancelledError();
   errors.rethrowIfSet();
   result.timings.reduce_phase_us = nowUs() - reduceStart;
 
@@ -316,7 +355,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
 /// late map tasks are still running. Per-block codec work (spill-side
 /// compression, reduce-side decode-ahead) fans out across a shared pool.
 JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& mapTasks,
-                          const ReduceFn& reduce, const Codec* codec) {
+                          const ReduceFn& reduce, const Codec* codec, const JobContext* ctx) {
   JobResult result;
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
@@ -324,17 +363,35 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   Mutex outputsMutex;
   ErrorSlot errors;
 
-  ThreadPool codecPool(codecPoolThreads(config));
-  PoolGauges codecPoolGauges(codecPool);
+  // Codec pool: the hosting service shares one pool across its concurrent
+  // jobs (and registers its gauges once); a standalone job owns a private one.
+  std::optional<ThreadPool> ownedCodecPool;
+  std::optional<PoolGauges> ownedCodecPoolGauges;
+  ThreadPool* codecPoolPtr = ctx != nullptr ? ctx->codec_pool : nullptr;
+  if (codecPoolPtr == nullptr) {
+    ownedCodecPool.emplace(codecPoolThreads(config));
+    ownedCodecPoolGauges.emplace(*ownedCodecPool);
+    codecPoolPtr = &*ownedCodecPool;
+  }
+  ThreadPool& codecPool = *codecPoolPtr;
   // Retry needs pristine copies to re-fetch; without it, keep today's pure
   // move semantics (no segment copies on the happy path).
   ShuffleServer server(mapTasks.size(), config.num_reducers, config.fault_injector,
                        /*retainSegments=*/config.shuffle_retry.enabled);
+  if (ctx != nullptr) {
+    if (ctx->shuffle_pending_limit_bytes != 0) {
+      server.setPendingBytesLimit(ctx->shuffle_pending_limit_bytes);
+    }
+    if (!ctx->shuffle_overflow_dir.empty()) server.setOverflowDir(ctx->shuffle_overflow_dir);
+  }
+  FleetAttachGuard fleet(ctx, server);
   obs::GaugeRegistration shuffleSegments = obs::processGauges().add(
       obs::gauge::kShuffleInflightSegments,
       [&server] { return static_cast<u64>(server.pendingSegments()); });
   obs::GaugeRegistration shuffleBytes = obs::processGauges().add(
       obs::gauge::kShufflePendingBytes, [&server] { return server.pendingBytes(); });
+  obs::GaugeRegistration shuffleOverflow = obs::processGauges().add(
+      obs::gauge::kShuffleOverflowBytes, [&server] { return server.overflowBytes(); });
   const bool verifySegments = config.verify_fetched_segments || config.shuffle_retry.enabled;
 
   const u64 jobStart = nowUs();
@@ -348,6 +405,9 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
     reducePool.submit([&, r] {
       try {
         std::vector<Bytes> segments(mapTasks.size());
+        // Overflowed segments stay on disk through the shuffle window and
+        // materialize right before the merge (which needs them resident).
+        std::vector<std::pair<std::size_t, std::filesystem::path>> deferred;
         u64 shuffled = 0;
         for (;;) {
           // The span covers the blocking wait too: fetch-wait time is the
@@ -364,6 +424,12 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
           if (!fetched) break;
           span.arg("reducer", static_cast<u64>(r));
           span.arg("map", fetched->map_index);
+          if (!fetched->overflow_file.empty()) {
+            span.arg("bytes", fetched->overflow_bytes);
+            shuffled += fetched->overflow_bytes;
+            deferred.emplace_back(fetched->map_index, std::move(fetched->overflow_file));
+            continue;
+          }
           span.arg("bytes", fetched->segment.size());
           if (verifySegments) {
             verifyAndRecoverSegment(config, server, codec, *fetched, r, result.counters);
@@ -371,8 +437,16 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
           shuffled += fetched->segment.size();
           segments[fetched->map_index] = std::move(fetched->segment);
         }
+        for (auto& [mapIndex, file] : deferred) {
+          ShuffleServer::Fetched loaded{mapIndex, readOverflowFile(file), {}, 0};
+          if (verifySegments) {
+            verifyAndRecoverSegment(config, server, codec, loaded, r, result.counters);
+          }
+          segments[mapIndex] = std::move(loaded.segment);
+        }
         result.counters.add(counter::kReduceShuffleBytes, shuffled);
         result.reduce_tasks[static_cast<std::size_t>(r)].shuffled_bytes = shuffled;
+        if (cancelRequested(ctx)) return;  // cancelled: skip the merge/reduce
         runReduceTaskWithRetries(config, codec, &codecPool, reduce, segments, result,
                                  outputsMutex, r, errors);
       } catch (...) {
@@ -387,6 +461,13 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
     PoolGauges mapPoolGauges(mapPool);
     for (std::size_t m = 0; m < mapTasks.size(); ++m) {
       mapPool.submit([&, m] {
+        if (cancelRequested(ctx)) {
+          // Cancelled before this task started: record it so the shuffle
+          // aborts (fetchers are blocked waiting on publishes that will
+          // never come) and stop scheduling work.
+          errors.record(std::make_exception_ptr(JobCancelledError()));
+          return;
+        }
         auto output = runMapTaskWithRetries(config, codec, &codecPool, mapTasks[m], m,
                                             result.map_tasks[m], result.counters, errors);
         if (!output.has_value()) return;
@@ -414,8 +495,8 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   }
   const u64 mapEnd = nowUs();
   result.timings.map_phase_us = mapEnd - jobStart;
-  if (errors.any()) {
-    // A map never published; unblock fetchers.
+  if (errors.any() || cancelRequested(ctx)) {
+    // A map never published (failure or cancellation); unblock fetchers.
     server.abort();
     obs::emitEvent(obs::event::kShuffleAbort, testing::site::kShufflePublish);
   }
@@ -431,39 +512,91 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
     result.timings.shuffle_overlap_us = std::min(lastFetch, mapEnd) - std::min(firstPublish, mapEnd);
   }
 
+  if (const u64 overflowed = server.overflowSegments(); overflowed != 0) {
+    result.counters.add(counter::kShuffleSegmentsOverflowed, overflowed);
+  }
+
+  // Cancellation outranks whatever secondary error the teardown produced
+  // (aborted fetchers record runtime_errors into the slot).
+  if (cancelRequested(ctx)) throw JobCancelledError();
   errors.rethrowIfSet();
   return result;
 }
 
-/// Installs a TraceRecorder as the process-wide active recorder for the
-/// duration of a job; clears it on every exit path so instrumentation never
-/// outlives the recorder.
+/// Routes the job's spans to its TraceRecorder for the duration of the run.
+/// Standalone job (tag 0): installs the recorder in the process-wide slot and
+/// clears it on every exit path. Service job (nonzero tag): binds the
+/// recorder to the job's task tag and never touches the global slot, which
+/// the service may own.
 struct ActiveTraceGuard {
-  explicit ActiveTraceGuard(obs::TraceRecorder* recorder) {
-    if (recorder != nullptr) obs::setActiveTrace(recorder);
+  ActiveTraceGuard(obs::TraceRecorder* recorder, u64 tag) : tag_(tag) {
+    if (tag_ != 0) {
+      if (recorder != nullptr) {
+        obs::bindJobTrace(tag_, recorder);
+        bound_ = true;
+      }
+    } else {
+      if (recorder != nullptr) obs::setActiveTrace(recorder);
+      ownsGlobal_ = true;
+    }
   }
-  ~ActiveTraceGuard() { obs::setActiveTrace(nullptr); }
+  ~ActiveTraceGuard() {
+    if (bound_) obs::unbindJobTrace(tag_);
+    if (ownsGlobal_) obs::setActiveTrace(nullptr);
+  }
+
+ private:
+  u64 tag_;
+  bool bound_ = false;
+  bool ownsGlobal_ = false;
 };
 
 /// Same pattern for the metrics stream: structured events (retry, corruption,
 /// backpressure) reach the JSONL file only while a job with a metrics_path is
 /// running; emitEvent() is a single relaxed load otherwise.
 struct ActiveMetricsGuard {
-  explicit ActiveMetricsGuard(obs::MetricsStream* stream) {
-    if (stream != nullptr) obs::setActiveMetrics(stream);
+  ActiveMetricsGuard(obs::MetricsStream* stream, u64 tag) : tag_(tag) {
+    if (tag_ != 0) {
+      if (stream != nullptr) {
+        obs::bindJobMetrics(tag_, stream);
+        bound_ = true;
+      }
+    } else {
+      if (stream != nullptr) obs::setActiveMetrics(stream);
+      ownsGlobal_ = true;
+    }
   }
-  ~ActiveMetricsGuard() { obs::setActiveMetrics(nullptr); }
+  ~ActiveMetricsGuard() {
+    if (bound_) obs::unbindJobMetrics(tag_);
+    if (ownsGlobal_) obs::setActiveMetrics(nullptr);
+  }
+
+ private:
+  u64 tag_;
+  bool bound_ = false;
+  bool ownsGlobal_ = false;
 };
 
 }  // namespace
 
 JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
                  const ReduceFn& reduce) {
+  return runJob(config, mapTasks, reduce, nullptr);
+}
+
+JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                 const ReduceFn& reduce, const JobContext* ctx) {
   check(config.num_reducers >= 1, "need at least one reducer");
   registerTransformCodecs();  // ensure codec names resolve
   const auto codecPtr = config.intermediate_codec == "null"
                             ? nullptr
                             : CodecRegistry::instance().create(config.intermediate_codec);
+
+  const u64 tag = ctx != nullptr ? ctx->job_tag : 0;
+  // Every thread of this call tree (including pool work it submits — the
+  // ThreadPool propagates the tag) resolves per-job telemetry by this tag.
+  std::optional<ScopedTaskTag> tagScope;
+  if (tag != 0) tagScope.emplace(tag);
 
   std::unique_ptr<obs::TraceRecorder> recorder;
   if (!config.trace_path.empty() || config.collect_histograms) {
@@ -477,16 +610,22 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
   JobResult result;
   std::map<std::string, obs::GaugeRollup> rollups;
   {
-    ActiveTraceGuard guard(recorder.get());
-    ActiveMetricsGuard metricsGuard(metrics.get());
+    ActiveTraceGuard guard(recorder.get(), tag);
+    ActiveMetricsGuard metricsGuard(metrics.get(), tag);
     // The shared byte pool is process-global, so its gauges register for the
-    // job's duration rather than for a component's lifetime.
-    VectorPool<u8>& bytePool = sharedBytePool();
-    obs::GaugeRegistration poolOutstanding =
-        obs::processGauges().add(obs::gauge::kPoolOutstandingBytes,
-                                 [&bytePool] { return bytePool.outstandingBytes(); });
-    obs::GaugeRegistration poolHwm = obs::processGauges().add(
-        obs::gauge::kPoolHwmBytes, [&bytePool] { return bytePool.hwmBytes(); });
+    // job's duration rather than for a component's lifetime — unless a
+    // hosting service already registered them once for the whole fleet
+    // (same-name sources sum, so per-job registration would double-count).
+    std::optional<obs::GaugeRegistration> poolOutstanding;
+    std::optional<obs::GaugeRegistration> poolHwm;
+    if (ctx == nullptr || !ctx->service_owns_pool_gauges) {
+      VectorPool<u8>& bytePool = sharedBytePool();
+      poolOutstanding.emplace(obs::processGauges().add(
+          obs::gauge::kPoolOutstandingBytes,
+          [&bytePool] { return bytePool.outstandingBytes(); }));
+      poolHwm.emplace(obs::processGauges().add(
+          obs::gauge::kPoolHwmBytes, [&bytePool] { return bytePool.hwmBytes(); }));
+    }
     obs::Sampler sampler(config.sample_interval_ms, obs::processGauges(), recorder.get(),
                          metrics.get());
     sampler.start();
@@ -495,8 +634,8 @@ JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
       jobSpan.arg("map_tasks", mapTasks.size());
       jobSpan.arg("reducers", static_cast<u64>(config.num_reducers));
       result = config.shuffle_pipeline
-                   ? runJobPipelined(config, mapTasks, reduce, codecPtr.get())
-                   : runJobSerial(config, mapTasks, reduce, codecPtr.get());
+                   ? runJobPipelined(config, mapTasks, reduce, codecPtr.get(), ctx)
+                   : runJobSerial(config, mapTasks, reduce, codecPtr.get(), ctx);
     }
     sampler.stop();  // takes the final sample before the gauges unregister
     rollups = sampler.rollups();

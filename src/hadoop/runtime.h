@@ -3,7 +3,10 @@
 // the full data path of the paper's Fig. 1, steps 1-7.
 #pragma once
 
+#include <atomic>
+#include <filesystem>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "hadoop/counters.h"
@@ -11,7 +14,13 @@
 #include "hadoop/spill.h"
 #include "obs/metrics.h"
 
+namespace scishuffle {
+class ThreadPool;
+}
+
 namespace scishuffle::hadoop {
+
+class ShuffleServer;
 
 /// A map task is a closure over its input split; it emits intermediate
 /// key/value pairs through the provided EmitFn.
@@ -67,9 +76,55 @@ struct JobResult {
   obs::JobTelemetry telemetry;
 };
 
+/// Thrown by runJob when JobContext::cancelled flipped true before the job
+/// finished (and by JobService::takeResult for a cancelled job).
+struct JobCancelledError : std::runtime_error {
+  JobCancelledError() : std::runtime_error("job cancelled") {}
+};
+
+/// Execution context a hosting service (src/service/) threads through runJob
+/// so concurrent jobs share infrastructure instead of each building their
+/// own. All fields optional; a default JobContext (or the 3-arg overload)
+/// reproduces the standalone single-job behavior exactly.
+struct JobContext {
+  /// Shared per-block codec pool. nullptr = the job owns a private pool
+  /// sized by JobConfig::codec_threads (the standalone behavior).
+  ThreadPool* codec_pool = nullptr;
+  /// Nonzero tag routes this job's spans and metric events to the recorder/
+  /// stream bound to the tag (io/task_tag.h + bindJobTrace/bindJobMetrics)
+  /// instead of the process-global slots, so concurrent jobs' telemetry
+  /// stays separated.
+  u64 job_tag = 0;
+  /// Cooperative cancellation: polled at task boundaries; when it flips true
+  /// the job stops scheduling work and runJob throws JobCancelledError.
+  /// (The service additionally aborts the live ShuffleServer to unblock
+  /// fetchers immediately.)
+  const std::atomic<bool>* cancelled = nullptr;
+  /// Shuffle backpressure seeds (ShuffleServer::setPendingBytesLimit /
+  /// setOverflowDir); the governor may tighten the limit later through the
+  /// attach hook. 0 / empty = unbounded, no overflow.
+  u64 shuffle_pending_limit_bytes = 0;
+  std::filesystem::path shuffle_overflow_dir;
+  /// Called with the job's live ShuffleServer right after construction /
+  /// right before destruction — the memory governor attaches here to adjust
+  /// the pending-bytes limit while the job runs.
+  std::function<void(ShuffleServer&)> attach_shuffle;
+  std::function<void(ShuffleServer&)> detach_shuffle;
+  /// The service registers the shared byte-pool gauges once for its own
+  /// lifetime; per-job registration would double-count them (same-name
+  /// gauge sources are summed).
+  bool service_owns_pool_gauges = false;
+};
+
 /// Runs a complete MapReduce job. Thread-safe hooks required: key_less,
 /// router and combiner run concurrently across tasks.
 JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
                  const ReduceFn& reduce);
+
+/// Service entry point: same job, executed under a JobContext (shared codec
+/// pool, task-tag telemetry routing, cooperative cancel, governor-managed
+/// shuffle backpressure). `ctx` may be nullptr.
+JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
+                 const ReduceFn& reduce, const JobContext* ctx);
 
 }  // namespace scishuffle::hadoop

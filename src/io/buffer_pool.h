@@ -75,6 +75,21 @@ class VectorPool {
     free_.push_back(std::move(v));
   }
 
+  /// Returns storage that was NOT acquired from this pool — codec output,
+  /// a decoded block, a segment built by a MemorySink — to the free list.
+  /// Unlike release(), the outstanding account is untouched: these bytes
+  /// were never added at an acquire, so subtracting them would under-count
+  /// every buffer that is still genuinely leased out. Same entry-count and
+  /// capacity caps as release().
+  void donate(std::vector<T> v) {
+    if (v.capacity() == 0 || v.capacity() > maxEntryElements_) return;
+    v.clear();
+    MutexLock lock(mu_);
+    if (free_.size() >= maxEntries_) return;  // drop: list is full
+    ++returns_;
+    free_.push_back(std::move(v));
+  }
+
   /// RAII wrapper: acquires on construction, releases on destruction.
   class Lease {
    public:

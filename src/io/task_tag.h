@@ -1,0 +1,41 @@
+// Per-thread task attribution tag. The job service runs many jobs in one
+// process, and their map/reduce/codec work interleaves on shared thread
+// pools — so "which job does this thread belong to right now?" can no longer
+// be answered by process-global state. A task tag is a thread-local u64 (0 =
+// untagged) installed with ScopedTaskTag; ThreadPool::submit captures the
+// submitter's tag and restores it around task execution, so work inherits its
+// job's identity transitively across pool hops (map task -> spill -> codec
+// pool block). The obs layer resolves per-job trace recorders and metrics
+// streams through this tag (src/obs/trace.h, src/obs/metrics_stream.h).
+//
+// This lives in io (not obs) because ThreadPool must propagate it and obs
+// already links against io; a plain thread_local keeps the untagged fast path
+// at one TLS read.
+#pragma once
+
+#include "io/common.h"
+
+namespace scishuffle {
+
+namespace detail {
+inline thread_local u64 t_task_tag = 0;
+}  // namespace detail
+
+/// The calling thread's current task tag; 0 = untagged (no job context).
+inline u64 currentTaskTag() { return detail::t_task_tag; }
+
+/// Installs `tag` as the calling thread's task tag for the scope and restores
+/// the previous tag on destruction (tags nest).
+class ScopedTaskTag {
+ public:
+  explicit ScopedTaskTag(u64 tag) : prev_(detail::t_task_tag) { detail::t_task_tag = tag; }
+  ~ScopedTaskTag() { detail::t_task_tag = prev_; }
+
+  ScopedTaskTag(const ScopedTaskTag&) = delete;
+  ScopedTaskTag& operator=(const ScopedTaskTag&) = delete;
+
+ private:
+  u64 prev_;
+};
+
+}  // namespace scishuffle

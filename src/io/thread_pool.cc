@@ -1,5 +1,7 @@
 #include "io/thread_pool.h"
 
+#include "io/task_tag.h"
+
 namespace scishuffle {
 
 ThreadPool::ThreadPool(int slots) : slots_(slots) {
@@ -18,6 +20,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Propagate the submitter's task tag: work enqueued from a tagged thread
+  // (a job's map task spilling onto the codec pool, say) executes under the
+  // same tag, so per-job trace/metrics routing survives pool hops.
+  if (const u64 tag = currentTaskTag(); tag != 0) {
+    task = [tag, inner = std::move(task)] {
+      ScopedTaskTag scope(tag);
+      inner();
+    };
+  }
   {
     MutexLock lock(mutex_);
     queue_.push(std::move(task));

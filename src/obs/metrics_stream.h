@@ -65,16 +65,32 @@ class MetricsStream {
   std::map<std::string, u64> eventCounts_ GUARDED_BY(mutex_);
 };
 
-/// The stream emitEvent() writes to; nullptr = metrics disabled.
+/// The stream emitEvent() writes to; nullptr = metrics disabled. Resolution
+/// order mirrors activeTrace(): the stream bound to the calling thread's task
+/// tag (bindJobMetrics — per-job streams under the job service), else the
+/// process-global stream (setActiveMetrics — the single-job path, and the
+/// service-level export while a JobService runs). While no tag bindings
+/// exist, resolution is the legacy single relaxed atomic load.
 MetricsStream* activeMetrics();
 
-/// Installs (or clears, with nullptr) the active stream. The caller owns the
-/// stream and must clear it before destruction; jobs do not nest.
+/// Installs (or clears, with nullptr) the process-global stream. The caller
+/// owns the stream and must clear it before destruction; global installs do
+/// not nest. The job service installs its service-level stream here, so
+/// untagged threads (dispatcher, governor) and the service copy of every job
+/// event land in one file.
 void setActiveMetrics(MetricsStream* stream);
+
+/// Binds `stream` to task tag `tag` (see io/task_tag.h): events emitted under
+/// that tag are written to this per-job stream *and* to the global stream (the
+/// service-level export sees every job's events). `tag` must be nonzero and
+/// unbound; unbind before destroying the stream.
+void bindJobMetrics(u64 tag, MetricsStream* stream);
+void unbindJobMetrics(u64 tag);
 
 /// Emits a structured event (see obs::event for the taxonomy; `site` names
 /// the emitting location, normally a fault-injection site constant) to the
-/// active stream. One relaxed atomic load and nothing else when disabled.
+/// tag-bound stream (if any) and the global stream. One relaxed atomic load
+/// and nothing else when disabled.
 void emitEvent(const char* name, const char* site, u64 value = 0);
 
 }  // namespace scishuffle::obs

@@ -55,6 +55,13 @@ inline constexpr const char* kThreadPoolActiveWorkers = "threadpool.active_worke
 // Stage-resident bytes: map-side sort buffers and reduce-side merge inputs.
 inline constexpr const char* kSpillBufferedBytes = "stage.spill.buffered_bytes";
 inline constexpr const char* kMergeResidentBytes = "stage.merge.resident_bytes";
+// ShuffleServer: bytes spilled to the overflow directory instead of held in
+// the in-memory queues (governor backpressure; docs/SERVICE.md).
+inline constexpr const char* kShuffleOverflowBytes = "shuffle.overflow_bytes";
+// Job service (src/service): jobs currently executing / waiting in the
+// admission queue.
+inline constexpr const char* kServiceJobsRunning = "service.jobs_running";
+inline constexpr const char* kServiceJobsQueued = "service.jobs_queued";
 }  // namespace gauge
 
 /// Structured-event names for the metrics JSONL stream (the PR 3 recovery
@@ -67,6 +74,13 @@ inline constexpr const char* kShuffleSegmentRefetch = "shuffle.segment_refetch";
 inline constexpr const char* kShuffleBackpressureWait = "shuffle.backpressure_wait";
 inline constexpr const char* kShuffleAbort = "shuffle.abort";
 inline constexpr const char* kTaskRetry = "task.retry";
+// Job-service lifecycle + governor (docs/SERVICE.md). Values carry the job
+// id (admit/reject/cancel) or the sampled RSS (throttle).
+inline constexpr const char* kShuffleOverflowSpill = "shuffle.overflow_spill";
+inline constexpr const char* kServiceJobAdmit = "service.job_admit";
+inline constexpr const char* kServiceJobReject = "service.job_reject";
+inline constexpr const char* kServiceJobCancel = "service.job_cancel";
+inline constexpr const char* kServiceGovernorThrottle = "service.governor_throttle";
 }  // namespace event
 
 /// A gauge source: returns the current value. Called from the sampler

@@ -82,11 +82,24 @@ class TraceRecorder {
 };
 
 /// The recorder instrumentation sites write to; nullptr = tracing disabled.
+/// Resolution order: the recorder bound to the calling thread's task tag
+/// (bindJobTrace — concurrent jobs under the job service), else the
+/// process-global recorder (setActiveTrace — the single-job path). While no
+/// tag bindings exist, resolution is the legacy single relaxed atomic load.
 TraceRecorder* activeTrace();
 
-/// Installs (or clears, with nullptr) the active recorder. The caller owns
-/// the recorder and must clear it before destruction; jobs do not nest.
+/// Installs (or clears, with nullptr) the process-global recorder — the
+/// single-job path and the task-tag fallback. The caller owns the recorder
+/// and must clear it before destruction; global installs do not nest.
 void setActiveTrace(TraceRecorder* recorder);
+
+/// Binds `recorder` to task tag `tag` (see io/task_tag.h): instrumentation
+/// running under that tag — including pool work the tagged thread submitted —
+/// records here instead of the global recorder. The job service binds one
+/// recorder per concurrent job. `tag` must be nonzero and unbound; the caller
+/// owns the recorder and must unbind before destroying it.
+void bindJobTrace(u64 tag, TraceRecorder* recorder);
+void unbindJobTrace(u64 tag);
 
 /// RAII span against the active recorder (or an explicit one): records
 /// [construction, destruction) on destruction. When tracing is disabled the

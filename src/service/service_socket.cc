@@ -1,0 +1,256 @@
+#include "service/service_socket.h"
+
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCISHUFFLE_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace scishuffle::service {
+
+#if defined(SCISHUFFLE_HAVE_UNIX_SOCKETS)
+
+namespace {
+
+void writeAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until `\n` (request side) or EOF (response side).
+std::string readUntil(int fd, bool stopAtNewline) {
+  std::string out;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("socket recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+    if (stopAtNewline && out.find('\n') != std::string::npos) break;
+  }
+  return out;
+}
+
+sockaddr_un socketAddress(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string s = path.string();
+  check(s.size() < sizeof(addr.sun_path), "socket path too long for sockaddr_un");
+  std::memcpy(addr.sun_path, s.c_str(), s.size() + 1);
+  return addr;
+}
+
+std::vector<std::string> splitWords(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+std::string statusLine(const JobStatus& s) {
+  std::ostringstream os;
+  os << s.id << ' ' << jobStateName(s.state) << ' ' << priorityName(s.priority) << ' '
+     << (s.name.empty() ? "-" : s.name) << " wait_us=" << s.queueWaitUs();
+  if (!s.error.empty()) os << " error=" << s.error;
+  return os.str();
+}
+
+}  // namespace
+
+ServiceEndpoint::ServiceEndpoint(JobService& service, std::filesystem::path socketPath,
+                                 SpecBuilder builder)
+    : service_(service), socketPath_(std::move(socketPath)), builder_(std::move(builder)) {
+  check(static_cast<bool>(builder_), "endpoint needs a spec builder");
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) throw IoError(std::string("socket() failed: ") + std::strerror(errno));
+  std::filesystem::remove(socketPath_);  // stale socket from a dead server
+  sockaddr_un addr = socketAddress(socketPath_);
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listenFd_);
+    throw IoError("bind(" + socketPath_.string() + ") failed: " + why);
+  }
+  if (::listen(listenFd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listenFd_);
+    throw IoError("listen failed: " + why);
+  }
+  acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+ServiceEndpoint::~ServiceEndpoint() { stop(); }
+
+void ServiceEndpoint::waitUntilShutdownRequested() {
+  MutexLock lock(mu_);
+  while (!shutdownRequested_ && !stopped_) shutdownCv_.wait(lock);
+}
+
+void ServiceEndpoint::stop() {
+  {
+    MutexLock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  shutdownCv_.notify_all();
+  // Unblock accept() so the acceptor thread sees stopped_ and exits.
+  ::shutdown(listenFd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listenFd_);
+  listenFd_ = -1;
+  std::vector<std::thread> conns;
+  {
+    MutexLock lock(mu_);
+    conns = std::move(conns_);
+    conns_.clear();
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  std::error_code ec;
+  std::filesystem::remove(socketPath_, ec);
+}
+
+void ServiceEndpoint::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    {
+      MutexLock lock(mu_);
+      if (stopped_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listen socket gone
+      }
+      conns_.emplace_back([this, fd] { serveConnection(fd); });
+    }
+  }
+}
+
+void ServiceEndpoint::serveConnection(int fd) {
+  try {
+    std::string line = readUntil(fd, /*stopAtNewline=*/true);
+    if (const auto nl = line.find('\n'); nl != std::string::npos) line.resize(nl);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    writeAll(fd, handleRequest(line) + "\n");
+  } catch (...) {
+    // Client went away mid-request; nothing to clean up beyond the fd.
+  }
+  ::close(fd);
+}
+
+std::string ServiceEndpoint::handleRequest(const std::string& line) {
+  try {
+    std::vector<std::string> words = splitWords(line);
+    if (words.empty()) return "error empty request";
+    const std::string cmd = words.front();
+    words.erase(words.begin());
+    if (cmd == "submit") {
+      if (words.empty()) return "error usage: submit <priority> <spec...>";
+      JobSpec spec;
+      spec.priority = parsePriority(words.front());
+      words.erase(words.begin());
+      std::string why;
+      if (!builder_(words, spec, why)) return "error " + why;
+      const SubmitResult r = service_.submit(std::move(spec));
+      if (!r.accepted) {
+        const auto s = service_.status(r.id);
+        return "rejected id=" + std::to_string(r.id) + (s ? " " + s->error : "");
+      }
+      return "ok id=" + std::to_string(r.id);
+    }
+    if (cmd == "status" || cmd == "wait") {
+      if (words.size() != 1) return "error usage: " + cmd + " <id>";
+      const u64 id = std::stoull(words.front());
+      if (cmd == "wait") return statusLine(service_.wait(id));
+      const auto s = service_.status(id);
+      return s ? statusLine(*s) : "error unknown job id";
+    }
+    if (cmd == "list") {
+      std::ostringstream os;
+      for (const JobStatus& s : service_.list()) os << statusLine(s) << "\n";
+      os << "end";
+      return os.str();
+    }
+    if (cmd == "cancel") {
+      if (words.size() != 1) return "error usage: cancel <id>";
+      return service_.cancel(std::stoull(words.front())) ? "ok"
+                                                         : "error unknown or terminal job";
+    }
+    if (cmd == "shutdown") {
+      {
+        MutexLock lock(mu_);
+        shutdownRequested_ = true;
+      }
+      shutdownCv_.notify_all();
+      return "ok";
+    }
+    return "error unknown command: " + cmd;
+  } catch (const std::exception& e) {
+    return std::string("error ") + e.what();
+  }
+}
+
+std::string ServiceEndpoint::request(const std::filesystem::path& socketPath,
+                                     const std::string& line) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw IoError(std::string("socket() failed: ") + std::strerror(errno));
+  sockaddr_un addr = socketAddress(socketPath);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw IoError("connect(" + socketPath.string() + ") failed: " + why);
+  }
+  std::string response;
+  try {
+    writeAll(fd, line + "\n");
+    ::shutdown(fd, SHUT_WR);  // half-close: server reads EOF-terminated line fine
+    response = readUntil(fd, /*stopAtNewline=*/false);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  while (!response.empty() && response.back() == '\n') response.pop_back();
+  return response;
+}
+
+#else  // !SCISHUFFLE_HAVE_UNIX_SOCKETS
+
+ServiceEndpoint::ServiceEndpoint(JobService& service, std::filesystem::path socketPath,
+                                 SpecBuilder builder)
+    : service_(service), socketPath_(std::move(socketPath)), builder_(std::move(builder)) {
+  throw IoError("UNIX domain sockets are not available on this platform");
+}
+
+ServiceEndpoint::~ServiceEndpoint() = default;
+void ServiceEndpoint::waitUntilShutdownRequested() {}
+void ServiceEndpoint::stop() {}
+void ServiceEndpoint::acceptLoop() {}
+void ServiceEndpoint::serveConnection(int) {}
+std::string ServiceEndpoint::handleRequest(const std::string&) { return "error unsupported"; }
+std::string ServiceEndpoint::request(const std::filesystem::path&, const std::string&) {
+  throw IoError("UNIX domain sockets are not available on this platform");
+}
+
+#endif
+
+}  // namespace scishuffle::service

@@ -1,0 +1,80 @@
+// UNIX-domain socket front-end for the JobService: a line-oriented control
+// protocol so `scishuffle_cli submit/jobs/cancel/shutdown` can talk to a
+// long-running `scishuffle_cli serve` process.
+//
+// Protocol (one request per connection, newline-terminated ASCII):
+//   submit <priority> <spec args...>   -> "ok id=N" | "rejected id=N <why>"
+//   status <id>                        -> "<id> <state> <name> wait_us=... <err>"
+//   list                               -> one status line per job, then "end"
+//   wait <id>                          -> blocks; then a status line
+//   cancel <id>                        -> "ok" | "error unknown or terminal job"
+//   shutdown                           -> "ok"; serve loop drains and exits
+// Anything malformed -> "error <message>".
+//
+// The endpoint knows nothing about building jobs: the host supplies a
+// SpecBuilder that turns the submit arguments into a JobSpec (the CLI's
+// builder understands its synthetic workloads; tests plug in their own).
+// POSIX-only (AF_UNIX); the stub on other platforms throws. Socket paths are
+// limited to sizeof(sockaddr_un::sun_path)-1 (~107) bytes.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/annotations.h"
+#include "service/job_service.h"
+
+namespace scishuffle::service {
+
+/// Builds a JobSpec from the whitespace-split arguments after
+/// `submit <priority>`. Returns false (with `error` set) for unknown specs.
+/// Must be thread-safe: connections are served concurrently.
+using SpecBuilder = std::function<bool(const std::vector<std::string>& args, JobSpec& spec,
+                                       std::string& error)>;
+
+class ServiceEndpoint {
+ public:
+  /// Binds and listens on `socketPath` (unlinking any stale socket first)
+  /// and serves connections on background threads until stop().
+  ServiceEndpoint(JobService& service, std::filesystem::path socketPath, SpecBuilder builder);
+  ~ServiceEndpoint();
+
+  ServiceEndpoint(const ServiceEndpoint&) = delete;
+  ServiceEndpoint& operator=(const ServiceEndpoint&) = delete;
+
+  /// Blocks until a client sent `shutdown` (or stop() was called). The serve
+  /// loop then typically calls service.shutdown() and endpoint stop().
+  void waitUntilShutdownRequested();
+
+  /// Stops accepting, joins every connection thread, unlinks the socket.
+  /// Idempotent.
+  void stop();
+
+  const std::filesystem::path& socketPath() const { return socketPath_; }
+
+  /// Client side: one round trip — connect, send `line`, read the full
+  /// response (until EOF). Throws IoError on connect/IO failure.
+  static std::string request(const std::filesystem::path& socketPath, const std::string& line);
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+  std::string handleRequest(const std::string& line);
+
+  JobService& service_;
+  const std::filesystem::path socketPath_;
+  const SpecBuilder builder_;
+  int listenFd_ = -1;  // const after construction until stop()
+
+  mutable Mutex mu_;
+  CondVar shutdownCv_;
+  bool shutdownRequested_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> conns_ GUARDED_BY(mu_);
+  std::thread acceptor_;  // joined by stop()
+};
+
+}  // namespace scishuffle::service
