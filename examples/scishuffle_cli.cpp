@@ -29,7 +29,17 @@
 //   scishuffle_cli serve --socket <path> [--max-jobs N] [--queue-cap N]
 //                  [--budget-mb M] [--overflow-dir d] [--shuffle-limit-mb L]
 //                  [--metrics-out m.jsonl] [--codec-threads T]
-//                                        long-running job service (docs/SERVICE.md)
+//                                        long-running job service (docs/SERVICE.md);
+//                                        SIGTERM/SIGINT drains, a second signal
+//                                        cancels the queue and finishes only the
+//                                        running jobs
+//   scishuffle_cli distrun <workload> [args...] [--workers N] [--workdir d]
+//                  [--metrics-out m.jsonl] [--sample-interval MS]
+//                                        run a workload across N forked worker
+//                                        processes (docs/CLUSTER.md)
+//   scishuffle_cli worker --control <sock> --data <sock> --id N --workload W ...
+//                                        one worker process (normally spawned by
+//                                        the coordinator, not by hand)
 //   scishuffle_cli submit <socket> [--wait] [--priority P] wordcount <maps> <words> [codec]
 //                                        submit a job to a running service
 //   scishuffle_cli jobs <socket>         list every job the service has seen
@@ -45,6 +55,7 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -57,8 +68,12 @@
 #include "obs/stat.h"
 #include "scikey/slab_query.h"
 #include "scikey/sliding_query.h"
+#include "service/coordinator.h"
 #include "service/job_service.h"
 #include "service/service_socket.h"
+#include "service/signals.h"
+#include "service/worker.h"
+#include "service/workload.h"
 #include "testing/fault_injector.h"
 #include "transform/stride_model.h"
 #include "transform/transform_codec.h"
@@ -70,7 +85,7 @@ namespace {
 int usage() {
   std::cerr << "usage: scishuffle_cli "
                "<gen|info|query|slab|stat|codec|decodec|inspect|faultdemo|serve|submit|jobs|"
-               "cancel|shutdown|selftest> ...\n"
+               "cancel|shutdown|distrun|worker|selftest> ...\n"
                "see the header of examples/scishuffle_cli.cpp for details\n";
   return 2;
 }
@@ -436,57 +451,28 @@ int cmdFaultDemo(const std::vector<std::string>& args) {
   return 0;
 }
 
-/// Fills `spec` with the synthetic word-count workload the service front-end
-/// understands: `wordcount <maps> <words-per-map> [codec]`. The closures are
-/// self-contained (everything captured by value) because the service runs
-/// them long after the builder returned.
-bool buildWordcountSpec(const std::vector<std::string>& args, service::JobSpec& spec,
-                        std::string& error) {
-  if (args.size() < 3 || args[0] != "wordcount") {
-    error = "usage: wordcount <maps> <words-per-map> [codec]";
+/// Fills `spec` from the shared workload registry (service/workload.h), so the
+/// service front-end, the distributed coordinator and every forked worker all
+/// expand `<name> <args...>` to the identical deterministic job.
+bool buildWorkloadSpec(const std::vector<std::string>& args, service::JobSpec& spec,
+                       std::string& error) {
+  if (args.empty()) {
+    error = "usage: <workload> <args...> (e.g. wordcount <maps> <words-per-map> [codec])";
     return false;
   }
-  int maps = 0;
-  long words = 0;
   try {
-    maps = std::stoi(args[1]);
-    words = std::stol(args[2]);
-  } catch (const std::exception&) {
-    error = "wordcount: maps and words must be integers";
+    service::Workload workload =
+        service::buildWorkload(args[0], {args.begin() + 1, args.end()});
+    spec.name = args[0];
+    for (std::size_t i = 1; i < args.size(); ++i) spec.name += (i == 1 ? "-" : "x") + args[i];
+    spec.config = std::move(workload.config);
+    spec.map_tasks = std::move(workload.map_tasks);
+    spec.reduce = std::move(workload.reduce);
+    return true;
+  } catch (const std::invalid_argument& e) {
+    error = e.what();
     return false;
   }
-  if (maps < 1 || words < 1) {
-    error = "wordcount: maps and words must be >= 1";
-    return false;
-  }
-  spec.name = "wordcount-" + args[1] + "x" + args[2];
-  spec.config.num_reducers = 3;
-  spec.config.intermediate_codec = args.size() > 3 ? args[3] : "gzipish";
-  const std::vector<std::string> vocab = {"the", "windspeed", "grid", "key",
-                                          "map", "reduce",    "sci", "curve"};
-  for (int m = 0; m < maps; ++m) {
-    spec.map_tasks.push_back(hadoop::MapTask{[m, words, vocab](const hadoop::EmitFn& emit) {
-      for (long i = 0; i < words; ++i) {
-        const std::string& word = vocab[static_cast<std::size_t>((i * 7 + m) % 8)];
-        Bytes value;
-        MemorySink sink(value);
-        writeI64(sink, 1);
-        emit(Bytes(word.begin(), word.end()), std::move(value));
-      }
-    }});
-  }
-  spec.reduce = [](const Bytes& key, std::vector<Bytes>& values, const hadoop::EmitFn& emit) {
-    i64 sum = 0;
-    for (const auto& v : values) {
-      MemorySource src(v);
-      sum += readI64(src);
-    }
-    Bytes out;
-    MemorySink sink(out);
-    writeI64(sink, sum);
-    emit(key, std::move(out));
-  };
-  return true;
 }
 
 int cmdServe(const std::vector<std::string>& args) {
@@ -528,7 +514,17 @@ int cmdServe(const std::vector<std::string>& args) {
   }
 
   service::JobService svc(config);
-  service::ServiceEndpoint endpoint(svc, socketPath, buildWordcountSpec);
+  service::ServiceEndpoint endpoint(svc, socketPath, buildWorkloadSpec);
+  // SIGTERM/SIGINT drains (finish everything already admitted); a second
+  // signal escalates by cancelling the queue, so the drain below only has the
+  // running jobs left to wait for.
+  service::ShutdownSignalGuard signals(
+      [&endpoint] { endpoint.requestShutdown(); },
+      [&svc] {
+        const std::size_t cancelled = svc.cancelAllQueued();
+        std::cerr << "second signal: cancelled " << cancelled
+                  << " queued job(s), finishing only the running ones\n";
+      });
   std::cerr << "serving on " << socketPath << " (max " << config.max_concurrent_jobs
             << " concurrent jobs"
             << (config.memory_budget_bytes != 0
@@ -545,6 +541,70 @@ int cmdServe(const std::vector<std::string>& args) {
   std::cerr << "service drained: " << done << " job(s) completed\n";
   if (!config.metrics_path.empty()) {
     std::cerr << "wrote service metrics to " << config.metrics_path
+              << " (summarize with scishuffle_cli stat)\n";
+  }
+  return 0;
+}
+
+/// Runs a registered workload across N forked worker processes: the CLI
+/// re-execs itself with the `worker` subcommand, so one binary is both
+/// coordinator and worker (docs/CLUSTER.md).
+int cmdDistrun(const std::vector<std::string>& args, const std::string& selfExe) {
+  if (args.empty()) return usage();
+  const std::string workloadName = args[0];
+  std::vector<std::string> workloadArgs;
+  service::DistributedConfig config;
+  config.worker_command = {selfExe, "worker"};
+  u64 sampleIntervalMs = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      check(i + 1 < args.size(), "flag needs a value");
+      return args[++i];
+    };
+    if (args[i] == "--workers") {
+      config.num_workers = std::stoi(next());
+    } else if (args[i] == "--workdir") {
+      config.work_dir = next();
+    } else if (args[i] == "--metrics-out") {
+      config.metrics_path = next();
+    } else if (args[i] == "--sample-interval") {
+      sampleIntervalMs = std::stoull(next());
+    } else if (args[i].rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << args[i] << "\n";
+      return usage();
+    } else {
+      workloadArgs.push_back(args[i]);
+    }
+  }
+  if (!service::workloadRegistered(workloadName)) {
+    std::cerr << "unknown workload '" << workloadName << "'\n";
+    return 1;
+  }
+  if (config.work_dir.empty()) {
+    config.work_dir = std::filesystem::temp_directory_path() /
+                      ("scishuffle-dist-" + std::to_string(std::random_device{}()));
+  }
+  config.sample_interval_ms =
+      sampleIntervalMs > 0 ? sampleIntervalMs : (config.metrics_path.empty() ? 0 : 10);
+  config.transport_retry.enabled = true;
+
+  const service::DistributedResult result =
+      service::runDistributedJob(workloadName, workloadArgs, config);
+  u64 outputRecords = 0;
+  for (const auto& reducer : result.job.outputs) outputRecords += reducer.size();
+  std::cout << "distrun OK: " << result.job.map_tasks.size() << " map task(s) on "
+            << result.workers_spawned << " worker(s), " << result.job.outputs.size()
+            << " reducer(s), " << outputRecords << " output record(s)\n";
+  std::cout << "  map " << result.job.timings.map_phase_us / 1000 << " ms, shuffle "
+            << result.job.timings.shuffle_us / 1000 << " ms, reduce "
+            << result.job.timings.reduce_phase_us / 1000 << " ms\n";
+  if (result.worker_deaths > 0) {
+    std::cout << "  recovered from " << result.worker_deaths << " worker death(s): "
+              << result.tasks_reexecuted << " task(s) re-executed, worst recovery "
+              << result.recovery_latency_us / 1000 << " ms\n";
+  }
+  if (!config.metrics_path.empty()) {
+    std::cerr << "wrote metrics to " << config.metrics_path
               << " (summarize with scishuffle_cli stat)\n";
   }
   return 0;
@@ -656,7 +716,7 @@ int cmdSelftest() {
     service::ServiceConfig config;
     config.max_concurrent_jobs = 2;
     service::JobService svc(config);
-    service::ServiceEndpoint endpoint(svc, socketPath, buildWordcountSpec);
+    service::ServiceEndpoint endpoint(svc, socketPath, buildWorkloadSpec);
     const std::string submitted =
         service::ServiceEndpoint::request(socketPath, "submit normal wordcount 3 200");
     check(submitted.rfind("ok id=", 0) == 0, ("service submit failed: " + submitted).c_str());
@@ -707,6 +767,8 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmdInspect(args);
     if (cmd == "faultdemo") return cmdFaultDemo(args);
     if (cmd == "serve") return cmdServe(args);
+    if (cmd == "distrun") return cmdDistrun(args, argv[0]);
+    if (cmd == "worker") return service::workerMainFromArgs(args);
     if (cmd == "submit") return cmdSubmit(args);
     if (cmd == "jobs") return cmdJobs(args);
     if (cmd == "cancel") return cmdCancel(args);

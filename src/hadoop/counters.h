@@ -47,6 +47,12 @@ inline constexpr const char* kAggregateFlushes = "AGGREGATE_FLUSHES";
 // Memory-governor backpressure: segments the shuffle spilled to the overflow
 // directory instead of keeping resident (docs/SERVICE.md).
 inline constexpr const char* kShuffleSegmentsOverflowed = "SHUFFLE_SEGMENTS_OVERFLOWED";
+// Distributed runtime (src/service/coordinator.h): workers the coordinator
+// declared dead (heartbeat timeout, control-plane EOF, or exhausted fetch
+// retries) and map tasks re-executed on a survivor because their owner died
+// before their output was safely fetched.
+inline constexpr const char* kWorkerDeathsDetected = "WORKER_DEATHS_DETECTED";
+inline constexpr const char* kMapTasksReexecuted = "MAP_TASKS_REEXECUTED";
 // CPU accounting for the cluster cost model (microseconds).
 inline constexpr const char* kMapCpuUs = "MAP_CPU_US";
 inline constexpr const char* kCodecCompressCpuUs = "CODEC_COMPRESS_CPU_US";

@@ -161,116 +161,45 @@ void verifyAndRecoverSegment(const JobConfig& config, ShuffleServer& server, con
   });
 }
 
-/// Runs one map task (with retries) and returns its materialized output, or
-/// nullopt after the last attempt failed (the error is recorded). Fault
-/// tolerance: a failed attempt is discarded wholesale (fresh MapOutputBuffer,
-/// fresh counters) and the task re-executes.
+/// Adapter from the public executeMapTask to the pool-task shape: errors land
+/// in the slot instead of propagating (pool tasks must not throw).
 std::optional<MapOutput> runMapTaskWithRetries(const JobConfig& config, const Codec* codec,
                                                ThreadPool* codecPool, const MapTask& task,
                                                std::size_t taskIndex, MapTaskStats& stats,
                                                Counters& jobCounters, ErrorSlot& errors) {
-  for (int attempt = 1;; ++attempt) {
-    try {
-      obs::ScopedSpan span("map_task", "map");
-      span.arg("task", taskIndex);
-      span.arg("attempt", static_cast<u64>(attempt));
-      Counters taskCounters;
-      MapOutputBuffer buffer(config, codec, taskCounters, codecPool);
-      const u64 taskStart = nowUs();
-      const EmitFn emit = [&](Bytes key, Bytes value) {
-        auto routed =
-            config.router(KeyValue{std::move(key), std::move(value)}, config.num_reducers);
-        for (auto& [partition, kv] : routed) buffer.collect(partition, std::move(kv));
-      };
-      task.run(emit);
-      taskCounters.add(counter::kMapCpuUs, nowUs() - taskStart);
-      MapOutput output = buffer.finish();
-      stats.cpu_us = taskCounters.get(counter::kMapCpuUs) +
-                     taskCounters.get(counter::kSortCpuUs) +
-                     taskCounters.get(counter::kCodecCompressCpuUs);
-      stats.segment_bytes.reserve(output.segments.size());
-      u64 materialized = 0;
-      for (const Bytes& segment : output.segments) {
-        stats.segment_bytes.push_back(segment.size());
-        materialized += segment.size();
-      }
-      span.arg("records", taskCounters.get(counter::kMapOutputRecords));
-      span.arg("materialized_bytes", materialized);
-      jobCounters.merge(taskCounters);
-      return output;
-    } catch (...) {
-      if (attempt >= config.max_task_attempts) {
-        errors.record();
-        return std::nullopt;
-      }
-      obs::emitEvent(obs::event::kTaskRetry, "map_task", static_cast<u64>(attempt));
-    }
+  try {
+    MapTaskExecution exec = executeMapTask(config, codec, codecPool, task, taskIndex);
+    stats = std::move(exec.stats);
+    jobCounters.merge(exec.counters);
+    return std::move(exec.output);
+  } catch (...) {
+    errors.record();
+    return std::nullopt;
   }
 }
 
-/// Runs one reduce task (with retries) over its fetched segments. Reduce
-/// retry needs the input segments intact across attempts, so it borrows them
-/// and copies per attempt (as a re-fetch would).
+/// Adapter from the public executeReduceTask: folds the execution into the
+/// JobResult (preserving shuffled_bytes, which the caller accounted during
+/// the fetch loop) and records errors into the slot.
 void runReduceTaskWithRetries(const JobConfig& config, const Codec* codec, ThreadPool* codecPool,
                               const ReduceFn& reduce, const std::vector<Bytes>& segments,
                               JobResult& result, Mutex& outputsMutex, int r,
                               ErrorSlot& errors) {
-  // Corrupt-data (FormatError) failures get the shuffle retry budget when it
-  // is larger: a transient corrupt block deserves the same bounded-backoff
-  // discipline as a dropped fetch, not just task-level maxattempts.
-  Backoff decodeBackoff(config.shuffle_retry, testing::site::kBlockDecode);
-  const int formatAttempts = std::max(config.max_task_attempts, config.shuffle_retry.attempts());
-  for (int attempt = 1;; ++attempt) {
-    try {
-      obs::ScopedSpan span("reduce_task", "reduce");
-      span.arg("reducer", static_cast<u64>(r));
-      span.arg("attempt", static_cast<u64>(attempt));
-      Counters taskCounters;
-      MergedSegmentStream stream(segments, codec, config, taskCounters, codecPool);
-      std::vector<KeyValue> output;
-      const EmitFn emit = [&](Bytes key, Bytes value) {
-        taskCounters.add(counter::kReduceOutputRecords, 1);
-        output.push_back(KeyValue{std::move(key), std::move(value)});
-      };
-      const u64 taskStart = nowUs();
-      config.grouper->run(stream, reduce, emit, taskCounters);
-      taskCounters.add(counter::kReduceCpuUs, nowUs() - taskStart);
-      span.arg("output_records", taskCounters.get(counter::kReduceOutputRecords));
-      ReduceTaskStats& stats = result.reduce_tasks[static_cast<std::size_t>(r)];
-      stats.cpu_us = taskCounters.get(counter::kReduceCpuUs) +
-                     taskCounters.get(counter::kCodecDecompressCpuUs);
-      stats.merge_materialized_bytes =
-          taskCounters.get(counter::kReduceMergeMaterializedBytes);
-      stats.merge_resident_peak_bytes =
-          taskCounters.get(counter::kReduceMergeResidentPeakBytes);
-      for (const auto& kv : output) stats.output_bytes += kv.key.size() + kv.value.size();
-      {
-        MutexLock lock(outputsMutex);
-        result.outputs[static_cast<std::size_t>(r)] = std::move(output);
-      }
-      result.counters.merge(taskCounters);
-      return;
-    } catch (const FormatError& e) {
-      // Corrupt intermediate data surfaced mid-merge (a frame/CRC failure
-      // fetch-time verification did not catch). Re-execute the reduce task;
-      // exhaustion yields a structured error naming the decode site.
-      result.counters.add(counter::kBlocksCorruptDetected, 1);
-      obs::emitEvent(obs::event::kShuffleCorruptionDetected, testing::site::kBlockDecode,
-                     static_cast<u64>(r));
-      if (attempt >= formatAttempts) {
-        errors.record(std::make_exception_ptr(RetryExhaustedError(
-            FailureReport{testing::site::kBlockDecode, attempt, e.what()})));
-        return;
-      }
-      obs::emitEvent(obs::event::kTaskRetry, "reduce_task", static_cast<u64>(attempt));
-      decodeBackoff.wait(attempt + 1);
-    } catch (...) {
-      if (attempt >= config.max_task_attempts) {
-        errors.record();
-        return;
-      }
-      obs::emitEvent(obs::event::kTaskRetry, "reduce_task", static_cast<u64>(attempt));
+  try {
+    ReduceTaskExecution exec =
+        executeReduceTask(config, codec, codecPool, reduce, segments, r, &result.counters);
+    ReduceTaskStats& stats = result.reduce_tasks[static_cast<std::size_t>(r)];
+    stats.cpu_us = exec.stats.cpu_us;
+    stats.merge_materialized_bytes = exec.stats.merge_materialized_bytes;
+    stats.merge_resident_peak_bytes = exec.stats.merge_resident_peak_bytes;
+    stats.output_bytes = exec.stats.output_bytes;
+    {
+      MutexLock lock(outputsMutex);
+      result.outputs[static_cast<std::size_t>(r)] = std::move(exec.output);
     }
+    result.counters.merge(exec.counters);
+  } catch (...) {
+    errors.record();
   }
 }
 
@@ -578,6 +507,103 @@ struct ActiveMetricsGuard {
 };
 
 }  // namespace
+
+MapTaskExecution executeMapTask(const JobConfig& config, const Codec* codec,
+                                ThreadPool* codecPool, const MapTask& task,
+                                std::size_t taskIndex) {
+  // Fault tolerance: a failed attempt is discarded wholesale (fresh
+  // MapOutputBuffer, fresh counters) and the task re-executes.
+  for (int attempt = 1;; ++attempt) {
+    try {
+      obs::ScopedSpan span("map_task", "map");
+      span.arg("task", taskIndex);
+      span.arg("attempt", static_cast<u64>(attempt));
+      MapTaskExecution exec;
+      Counters& taskCounters = exec.counters;
+      MapOutputBuffer buffer(config, codec, taskCounters, codecPool);
+      const u64 taskStart = nowUs();
+      const EmitFn emit = [&](Bytes key, Bytes value) {
+        auto routed =
+            config.router(KeyValue{std::move(key), std::move(value)}, config.num_reducers);
+        for (auto& [partition, kv] : routed) buffer.collect(partition, std::move(kv));
+      };
+      task.run(emit);
+      taskCounters.add(counter::kMapCpuUs, nowUs() - taskStart);
+      exec.output = buffer.finish();
+      exec.stats.cpu_us = taskCounters.get(counter::kMapCpuUs) +
+                          taskCounters.get(counter::kSortCpuUs) +
+                          taskCounters.get(counter::kCodecCompressCpuUs);
+      exec.stats.segment_bytes.reserve(exec.output.segments.size());
+      u64 materialized = 0;
+      for (const Bytes& segment : exec.output.segments) {
+        exec.stats.segment_bytes.push_back(segment.size());
+        materialized += segment.size();
+      }
+      span.arg("records", taskCounters.get(counter::kMapOutputRecords));
+      span.arg("materialized_bytes", materialized);
+      return exec;
+    } catch (...) {
+      if (attempt >= config.max_task_attempts) throw;
+      obs::emitEvent(obs::event::kTaskRetry, "map_task", static_cast<u64>(attempt));
+    }
+  }
+}
+
+ReduceTaskExecution executeReduceTask(const JobConfig& config, const Codec* codec,
+                                      ThreadPool* codecPool, const ReduceFn& reduce,
+                                      const std::vector<Bytes>& segments, int reducer,
+                                      Counters* retryCounters) {
+  // Reduce retry needs the input segments intact across attempts, so it
+  // borrows them and decodes per attempt (as a re-fetch would).
+  // Corrupt-data (FormatError) failures get the shuffle retry budget when it
+  // is larger: a transient corrupt block deserves the same bounded-backoff
+  // discipline as a dropped fetch, not just task-level maxattempts.
+  Backoff decodeBackoff(config.shuffle_retry, testing::site::kBlockDecode);
+  const int formatAttempts = std::max(config.max_task_attempts, config.shuffle_retry.attempts());
+  for (int attempt = 1;; ++attempt) {
+    try {
+      obs::ScopedSpan span("reduce_task", "reduce");
+      span.arg("reducer", static_cast<u64>(reducer));
+      span.arg("attempt", static_cast<u64>(attempt));
+      ReduceTaskExecution exec;
+      Counters& taskCounters = exec.counters;
+      MergedSegmentStream stream(segments, codec, config, taskCounters, codecPool);
+      const EmitFn emit = [&](Bytes key, Bytes value) {
+        taskCounters.add(counter::kReduceOutputRecords, 1);
+        exec.output.push_back(KeyValue{std::move(key), std::move(value)});
+      };
+      const u64 taskStart = nowUs();
+      config.grouper->run(stream, reduce, emit, taskCounters);
+      taskCounters.add(counter::kReduceCpuUs, nowUs() - taskStart);
+      span.arg("output_records", taskCounters.get(counter::kReduceOutputRecords));
+      exec.stats.cpu_us = taskCounters.get(counter::kReduceCpuUs) +
+                          taskCounters.get(counter::kCodecDecompressCpuUs);
+      exec.stats.merge_materialized_bytes =
+          taskCounters.get(counter::kReduceMergeMaterializedBytes);
+      exec.stats.merge_resident_peak_bytes =
+          taskCounters.get(counter::kReduceMergeResidentPeakBytes);
+      for (const auto& kv : exec.output)
+        exec.stats.output_bytes += kv.key.size() + kv.value.size();
+      return exec;
+    } catch (const FormatError& e) {
+      // Corrupt intermediate data surfaced mid-merge (a frame/CRC failure
+      // fetch-time verification did not catch). Re-execute the reduce task;
+      // exhaustion yields a structured error naming the decode site.
+      if (retryCounters != nullptr) retryCounters->add(counter::kBlocksCorruptDetected, 1);
+      obs::emitEvent(obs::event::kShuffleCorruptionDetected, testing::site::kBlockDecode,
+                     static_cast<u64>(reducer));
+      if (attempt >= formatAttempts) {
+        throw RetryExhaustedError(
+            FailureReport{testing::site::kBlockDecode, attempt, e.what()});
+      }
+      obs::emitEvent(obs::event::kTaskRetry, "reduce_task", static_cast<u64>(attempt));
+      decodeBackoff.wait(attempt + 1);
+    } catch (...) {
+      if (attempt >= config.max_task_attempts) throw;
+      obs::emitEvent(obs::event::kTaskRetry, "reduce_task", static_cast<u64>(attempt));
+    }
+  }
+}
 
 JobResult runJob(const JobConfig& config, const std::vector<MapTask>& mapTasks,
                  const ReduceFn& reduce) {

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 
 namespace scishuffle {
+class Codec;
 class ThreadPool;
 }
 
@@ -115,6 +116,45 @@ struct JobContext {
   /// gauge sources are summed).
   bool service_owns_pool_gauges = false;
 };
+
+/// One map task's materialized result: the per-reducer segments plus the
+/// stats and counter deltas the caller folds into its job-level aggregates.
+/// The building block both the in-process runtime and the multi-process
+/// worker (src/service/worker.h) execute tasks through — re-executing a task
+/// from the same MapTask closure reproduces these bytes exactly, which is
+/// what makes worker-death recovery bit-identical.
+struct MapTaskExecution {
+  MapOutput output;
+  MapTaskStats stats;
+  Counters counters;
+};
+
+/// Runs one map task with the configured retry budget (a failed attempt is
+/// discarded wholesale and re-executed). Throws the last attempt's error
+/// after config.max_task_attempts.
+MapTaskExecution executeMapTask(const JobConfig& config, const Codec* codec,
+                                ThreadPool* codecPool, const MapTask& task,
+                                std::size_t taskIndex);
+
+/// One reduce task's result. stats carries cpu/merge/output byte fields;
+/// shuffled_bytes stays 0 — the transport that delivered the segments
+/// accounts for it.
+struct ReduceTaskExecution {
+  std::vector<KeyValue> output;
+  ReduceTaskStats stats;
+  Counters counters;
+};
+
+/// Merges `segments` (slotted by map index) and runs the grouper + reduce
+/// function with the configured retry budgets. Corrupt-data (FormatError)
+/// attempts get the larger of task and shuffle retry budgets; per-attempt
+/// corruption detections are recorded into *retryCounters when provided (so
+/// they survive even if the task ultimately fails). Throws
+/// RetryExhaustedError (site block.decode) or the last attempt's error.
+ReduceTaskExecution executeReduceTask(const JobConfig& config, const Codec* codec,
+                                      ThreadPool* codecPool, const ReduceFn& reduce,
+                                      const std::vector<Bytes>& segments, int reducer,
+                                      Counters* retryCounters = nullptr);
 
 /// Runs a complete MapReduce job. Thread-safe hooks required: key_less,
 /// router and combiner run concurrently across tasks.

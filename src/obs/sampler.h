@@ -62,6 +62,10 @@ inline constexpr const char* kShuffleOverflowBytes = "shuffle.overflow_bytes";
 // admission queue.
 inline constexpr const char* kServiceJobsRunning = "service.jobs_running";
 inline constexpr const char* kServiceJobsQueued = "service.jobs_queued";
+// Distributed coordinator (src/service/coordinator.h): workers currently
+// believed alive, and map tasks not yet published (pending + assigned).
+inline constexpr const char* kDistWorkersAlive = "dist.workers_alive";
+inline constexpr const char* kDistTasksPending = "dist.tasks_pending";
 }  // namespace gauge
 
 /// Structured-event names for the metrics JSONL stream (the PR 3 recovery
@@ -81,6 +85,12 @@ inline constexpr const char* kServiceJobAdmit = "service.job_admit";
 inline constexpr const char* kServiceJobReject = "service.job_reject";
 inline constexpr const char* kServiceJobCancel = "service.job_cancel";
 inline constexpr const char* kServiceGovernorThrottle = "service.governor_throttle";
+// Worker lifecycle in the distributed coordinator. Values carry the worker
+// id (spawn/lost) or the re-executed map index (task_reexec); the site field
+// says *why* a worker was declared lost (docs/CLUSTER.md).
+inline constexpr const char* kWorkerSpawned = "worker.spawned";
+inline constexpr const char* kWorkerLost = "worker.lost";
+inline constexpr const char* kDistTaskReexec = "dist.task_reexec";
 }  // namespace event
 
 /// A gauge source: returns the current value. Called from the sampler

@@ -195,6 +195,28 @@ bool JobService::cancel(u64 id) {
   return true;
 }
 
+std::size_t JobService::cancelAllQueued() {
+  std::vector<u64> queued;
+  {
+    MutexLock lock(mutex_);
+    queued = queue_;
+  }
+  // cancel(id) re-checks state under the lock, so a job dispatched between
+  // the snapshot and the cancel is simply skipped (it is no longer kQueued —
+  // cancel() then flips its cooperative flag instead, which is stricter than
+  // needed; take the queued-only path by filtering on the snapshot).
+  std::size_t cancelled = 0;
+  for (const u64 id : queued) {
+    {
+      MutexLock lock(mutex_);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second->state != JobState::kQueued) continue;
+    }
+    if (cancel(id)) ++cancelled;
+  }
+  return cancelled;
+}
+
 JobStatus JobService::wait(u64 id) {
   MutexLock lock(mutex_);
   const auto it = jobs_.find(id);

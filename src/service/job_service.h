@@ -142,6 +142,11 @@ class JobService {
   /// terminal.
   bool cancel(u64 id);
 
+  /// Cancels every job still waiting in the admission queue (running jobs
+  /// keep going). Returns the number cancelled. The serve loop's
+  /// second-signal escalation: drain becomes "finish only what is running".
+  std::size_t cancelAllQueued();
+
   /// Blocks until the job reaches a terminal state.
   JobStatus wait(u64 id);
 

@@ -102,6 +102,14 @@ void ServiceEndpoint::waitUntilShutdownRequested() {
   while (!shutdownRequested_ && !stopped_) shutdownCv_.wait(lock);
 }
 
+void ServiceEndpoint::requestShutdown() {
+  {
+    MutexLock lock(mu_);
+    shutdownRequested_ = true;
+  }
+  shutdownCv_.notify_all();
+}
+
 void ServiceEndpoint::stop() {
   {
     MutexLock lock(mu_);
@@ -243,6 +251,7 @@ ServiceEndpoint::ServiceEndpoint(JobService& service, std::filesystem::path sock
 
 ServiceEndpoint::~ServiceEndpoint() = default;
 void ServiceEndpoint::waitUntilShutdownRequested() {}
+void ServiceEndpoint::requestShutdown() {}
 void ServiceEndpoint::stop() {}
 void ServiceEndpoint::acceptLoop() {}
 void ServiceEndpoint::serveConnection(int) {}

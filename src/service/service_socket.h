@@ -49,6 +49,11 @@ class ServiceEndpoint {
   /// loop then typically calls service.shutdown() and endpoint stop().
   void waitUntilShutdownRequested();
 
+  /// Same effect as a client sending `shutdown`: wakes
+  /// waitUntilShutdownRequested(). Used by the serve loop's signal handlers
+  /// (service/signals.h) so Ctrl-C drains instead of killing the process.
+  void requestShutdown();
+
   /// Stops accepting, joins every connection thread, unlinks the socket.
   /// Idempotent.
   void stop();

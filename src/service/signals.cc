@@ -1,0 +1,105 @@
+#include "service/signals.h"
+
+#include "io/common.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCISHUFFLE_HAVE_SIGNALS 1
+#include <csignal>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace scishuffle::service {
+
+#if defined(SCISHUFFLE_HAVE_SIGNALS)
+
+namespace {
+
+// Self-pipe shared with the async handler; write end is -1 when no guard is
+// installed. Plain ints (not guarded state): the handler runs in signal
+// context where a lock is forbidden, and write(2) is async-signal-safe.
+volatile int gSignalPipeWrite = -1;
+
+void signalHandler(int) {
+  const int fd = gSignalPipeWrite;
+  if (fd >= 0) {
+    const char byte = 1;
+    // The pipe is never full in practice (2 bytes max); a failed write just
+    // drops an already-redundant signal.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+struct SavedActions {
+  struct sigaction term;
+  struct sigaction intr;
+};
+
+SavedActions* gSaved = nullptr;
+int gPipe[2] = {-1, -1};
+
+}  // namespace
+
+ShutdownSignalGuard::ShutdownSignalGuard(std::function<void()> onFirst,
+                                         std::function<void()> onSecond)
+    : onFirst_(std::move(onFirst)), onSecond_(std::move(onSecond)) {
+  check(gSaved == nullptr, "only one ShutdownSignalGuard may be live at a time");
+  check(::pipe(gPipe) == 0, "pipe() failed for signal guard");
+  gSignalPipeWrite = gPipe[1];
+  gSaved = new SavedActions{};
+  struct sigaction action {};
+  action.sa_handler = signalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, &gSaved->term);
+  ::sigaction(SIGINT, &action, &gSaved->intr);
+  watcher_ = std::thread([this] { watcherLoop(); });
+}
+
+ShutdownSignalGuard::~ShutdownSignalGuard() {
+  ::sigaction(SIGTERM, &gSaved->term, nullptr);
+  ::sigaction(SIGINT, &gSaved->intr, nullptr);
+  delete gSaved;
+  gSaved = nullptr;
+  gSignalPipeWrite = -1;
+  ::close(gPipe[1]);  // watcher reads EOF and exits
+  gPipe[1] = -1;
+  if (watcher_.joinable()) watcher_.join();
+  ::close(gPipe[0]);
+  gPipe[0] = -1;
+}
+
+void ShutdownSignalGuard::watcherLoop() {
+  for (;;) {
+    char byte = 0;
+    const ssize_t n = ::read(gPipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF: guard destroyed
+    int count;
+    {
+      MutexLock lock(mu_);
+      if (delivered_ >= 2) continue;  // further signals ignored
+      count = ++delivered_;
+    }
+    if (count == 1 && onFirst_) onFirst_();
+    if (count == 2 && onSecond_) onSecond_();
+  }
+}
+
+int ShutdownSignalGuard::signalCount() const {
+  MutexLock lock(mu_);
+  return delivered_;
+}
+
+#else  // !SCISHUFFLE_HAVE_SIGNALS
+
+ShutdownSignalGuard::ShutdownSignalGuard(std::function<void()> onFirst,
+                                         std::function<void()> onSecond)
+    : onFirst_(std::move(onFirst)), onSecond_(std::move(onSecond)) {}
+ShutdownSignalGuard::~ShutdownSignalGuard() = default;
+void ShutdownSignalGuard::watcherLoop() {}
+int ShutdownSignalGuard::signalCount() const { return 0; }
+
+#endif
+
+}  // namespace scishuffle::service

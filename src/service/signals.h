@@ -1,0 +1,43 @@
+// Graceful-shutdown signal handling for `scishuffle_cli serve`: the first
+// SIGTERM/SIGINT drains the service (shutdown(kDrainQueued)), a second one
+// escalates to cancelling the queue (kCancelQueued).
+//
+// Signal handlers can do almost nothing safely, so the handler only writes
+// one byte to a self-pipe; a watcher thread turns bytes into the onFirst /
+// onSecond callbacks on a normal thread where locks and allocation are fine.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+#include "io/annotations.h"
+
+namespace scishuffle::service {
+
+/// Installs SIGTERM+SIGINT handlers for its lifetime and restores the
+/// previous handlers on destruction. The first delivered signal invokes
+/// onFirst, the second onSecond; further signals are ignored. Callbacks run
+/// on an internal watcher thread, not in signal context. One instance per
+/// process at a time.
+class ShutdownSignalGuard {
+ public:
+  ShutdownSignalGuard(std::function<void()> onFirst, std::function<void()> onSecond);
+  ~ShutdownSignalGuard();
+
+  ShutdownSignalGuard(const ShutdownSignalGuard&) = delete;
+  ShutdownSignalGuard& operator=(const ShutdownSignalGuard&) = delete;
+
+  /// Signals received so far (saturates at 2); test visibility.
+  int signalCount() const;
+
+ private:
+  void watcherLoop();
+
+  std::function<void()> onFirst_;
+  std::function<void()> onSecond_;
+  std::thread watcher_;
+  mutable Mutex mu_;
+  int delivered_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace scishuffle::service

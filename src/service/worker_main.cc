@@ -1,0 +1,12 @@
+// Entry point of the scishuffle_worker binary the coordinator fork+execs.
+// The CLI's `worker` subcommand shares workerMainFromArgs, so either binary
+// can host a worker (docs/CLUSTER.md).
+#include <string>
+#include <vector>
+
+#include "service/worker.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return scishuffle::service::workerMainFromArgs(args);
+}

@@ -72,6 +72,24 @@ TEST(LintFaultSites, UndocumentedSiteIsReported) {
   EXPECT_TRUE(hasDiagnostic(diags, "src/testing/fault_injector.h", "shadow.site"));
 }
 
+TEST(LintFaultSites, UndocumentedTransportSiteIsReported) {
+  // The violation lives in src/net/socket.h, not the core injector header —
+  // the linter must scan both against docs/FAULTS.md.
+  const auto diags = lint::checkFaultSites(fixture("undocumented_net_site"));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(hasDiagnostic(diags, "src/net/socket.h", "net.shadow"));
+  EXPECT_TRUE(hasDiagnostic(diags, "socket.h", "not documented in docs/FAULTS.md"));
+}
+
+TEST(LintFaultSites, TreeWithoutTransportLayerStillLints) {
+  // undocumented_site has no src/net/: the transport scan must skip quietly,
+  // reporting only the seeded core-injector violation.
+  const auto diags = lint::checkFaultSites(fixture("undocumented_site"));
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.file.find("net/socket.h"), std::string::npos) << lint::formatDiagnostic(d);
+  }
+}
+
 TEST(LintSimdKernels, UndocumentedKernelIsReported) {
   const auto diags = lint::checkSimdKernels(fixture("undocumented_kernel"));
   ASSERT_EQ(diags.size(), 1u);

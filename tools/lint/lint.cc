@@ -252,19 +252,32 @@ std::vector<Diagnostic> checkFaultSites(const fs::path& root) {
   const std::string docs = readAll(root, "docs/FAULTS.md", diags);
   if (docs.empty()) return diags;
 
-  const std::vector<NamedConstant> sites = parseStringConstants(lines);
-  if (sites.empty()) {
-    diags.push_back({header, 0,
-                     "no injection-site constants parsed; declaration syntax changed under the "
-                     "linter?"});
-    return diags;
-  }
-  for (const auto& s : sites) {
-    if (docs.find(s.value) == std::string::npos) {
-      diags.push_back({header, s.line,
-                       "injection site " + s.ident + " (\"" + s.value +
-                           "\") is not documented in docs/FAULTS.md"});
+  const auto checkHeader = [&](const std::string& relPath,
+                               const std::vector<std::string>& headerLines) {
+    const std::vector<NamedConstant> sites = parseStringConstants(headerLines);
+    if (sites.empty()) {
+      diags.push_back({relPath, 0,
+                       "no injection-site constants parsed; declaration syntax changed under the "
+                       "linter?"});
+      return;
     }
+    for (const auto& s : sites) {
+      if (docs.find(s.value) == std::string::npos) {
+        diags.push_back({relPath, s.line,
+                         "injection site " + s.ident + " (\"" + s.value +
+                             "\") is not documented in docs/FAULTS.md"});
+      }
+    }
+  };
+  checkHeader(header, lines);
+
+  // The transport layer declares its own sites (net.connect / net.frame.* /
+  // net.fetch); same contract, same doc. Optional so fixture trees without a
+  // net/ layer still lint.
+  const std::string netHeader = "src/net/socket.h";
+  if (fs::exists(root / netHeader)) {
+    std::vector<std::string> netLines;
+    if (readLines(root, netHeader, netLines, diags)) checkHeader(netHeader, netLines);
   }
   return diags;
 }

@@ -15,7 +15,8 @@
 //   * spans      — every ScopedSpan name emitted anywhere under src/ appears
 //                  in docs/OBSERVABILITY.md's span taxonomy.
 //   * sites      — every fault-injection site constant in
-//                  src/testing/fault_injector.h is documented in
+//                  src/testing/fault_injector.h and in the transport header
+//                  src/net/socket.h (when present) is documented in
 //                  docs/FAULTS.md.
 //   * kernels    — every SCISHUFFLE_SIMD_KERNEL(kernel, scalarRef)
 //                  registration names a scalar reference defined in the same

@@ -1,0 +1,7 @@
+// Fixture: transport site "net.shadow" is missing from docs/FAULTS.md.
+#pragma once
+
+namespace site {
+inline constexpr const char* kNetConnect = "net.connect";
+inline constexpr const char* kNetShadow = "net.shadow";
+}  // namespace site

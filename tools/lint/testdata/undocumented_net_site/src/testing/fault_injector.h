@@ -1,0 +1,7 @@
+// Fixture: the core injector sites are all documented; the violation lives
+// in the transport header (src/net/socket.h).
+#pragma once
+
+namespace site {
+inline constexpr const char* kDfsRead = "dfs.read";
+}  // namespace site
