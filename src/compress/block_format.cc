@@ -12,6 +12,7 @@
 #include <string>
 
 #include "io/buffer_pool.h"
+#include "io/thread.h"
 #include "io/crc32.h"
 #include "io/primitives.h"
 #include "io/varint.h"
@@ -101,7 +102,7 @@ BlockCompressedWriter::~BlockCompressedWriter() {
   // inside compressBlock, so the output is plain codec storage.
   for (auto& f : inFlight_) {
     try {
-      Sealed s = f.get();
+      Sealed s = awaitFuture(f);
       if (codec_ == nullptr) sharedBytePool().release(std::move(s.compressed));
     } catch (...) {
       // A failed compression task never produced (or already freed) output;
@@ -132,7 +133,7 @@ Bytes BlockCompressedWriter::close() {
     // compressBlock); its lease ends here, once the bytes are copied out.
     if (codec_ == nullptr) sharedBytePool().release(std::move(s.compressed));
   };
-  for (auto& f : inFlight_) emit(f.get());  // in seal order: deterministic bytes
+  for (auto& f : inFlight_) emit(awaitFuture(f));  // in seal order: deterministic bytes
   inFlight_.clear();
   for (Sealed& s : sealed_) emit(std::move(s));
   sealed_.clear();
@@ -259,7 +260,7 @@ BlockDecodeSource::~BlockDecodeSource() {
   // recycled without touching the outstanding-bytes account.
   if (ahead_.has_value()) {
     try {
-      sharedBytePool().donate(ahead_->get());
+      sharedBytePool().donate(awaitFuture(*ahead_));
     } catch (...) {
       // A decode error surfaces on the consuming path; teardown ignores it.
     }
@@ -285,7 +286,7 @@ bool BlockDecodeSource::advance() {
   sharedBytePool().donate(std::move(current_));
   current_.clear();
   if (ahead_.has_value()) {
-    Bytes next = ahead_->get();  // rethrows decode errors from the pool
+    Bytes next = awaitFuture(*ahead_);  // rethrows decode errors from the pool
     ahead_.reset();
     aheadRawLen_ = 0;
     current_ = std::move(next);

@@ -13,7 +13,7 @@ CodecRegistry& CodecRegistry::instance() {
 }
 
 void CodecRegistry::registerCodec(const std::string& name, Factory factory) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [n, f] : entries_) {
     if (n == name) {
       f = std::move(factory);
@@ -26,7 +26,7 @@ void CodecRegistry::registerCodec(const std::string& name, Factory factory) {
 std::unique_ptr<Codec> CodecRegistry::create(const std::string& name) const {
   Factory factory;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& [n, f] : entries_) {
       if (n == name) {
         factory = f;
@@ -39,7 +39,7 @@ std::unique_ptr<Codec> CodecRegistry::create(const std::string& name) const {
 }
 
 std::vector<std::string> CodecRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [n, f] : entries_) out.push_back(n);

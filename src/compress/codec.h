@@ -8,10 +8,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "io/annotations.h"
 #include "io/common.h"
 
 namespace scishuffle {
@@ -56,9 +56,10 @@ class CodecRegistry {
 
  private:
   // Jobs may run concurrently and each re-registers the builtin codecs on
-  // entry, so the singleton must tolerate registration/create races.
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, Factory>> entries_;
+  // entry, so the singleton must tolerate registration/create races. A leaf
+  // lock: factories run (and may allocate) outside the critical section.
+  mutable Mutex mutex_{lock_rank::kCodecRegistry};
+  std::vector<std::pair<std::string, Factory>> entries_ GUARDED_BY(mutex_);
 };
 
 /// Registers the codecs built into this library ("null", "gzipish",

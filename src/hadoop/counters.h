@@ -81,7 +81,7 @@ class Counters {
   std::string toString() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kCounters};
   std::map<std::string, u64> values_ GUARDED_BY(mutex_);
 };
 

@@ -113,7 +113,7 @@ class ErrorSlot {
   }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kErrorSlot};
   std::exception_ptr first_ GUARDED_BY(mutex_);
 };
 
@@ -211,7 +211,7 @@ JobResult runJobSerial(const JobConfig& config, const std::vector<MapTask>& mapT
   JobResult result;
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
-  Mutex outputsMutex;
+  Mutex outputsMutex{lock_rank::kJobOutputs};
   std::vector<std::optional<MapOutput>> mapOutputs(mapTasks.size());
   ErrorSlot errors;
 
@@ -289,7 +289,7 @@ JobResult runJobPipelined(const JobConfig& config, const std::vector<MapTask>& m
   result.map_tasks.resize(mapTasks.size());
   result.reduce_tasks.resize(static_cast<std::size_t>(config.num_reducers));
   result.outputs.resize(static_cast<std::size_t>(config.num_reducers));
-  Mutex outputsMutex;
+  Mutex outputsMutex{lock_rank::kJobOutputs};
   ErrorSlot errors;
 
   // Codec pool: the hosting service shares one pool across its concurrent

@@ -105,7 +105,7 @@ class ShuffleServer {
   /// acquired) and deletes this server's overflow files.
   void drainLocked() REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kShuffleServer};
   CondVar arrived_;
   std::vector<std::deque<Fetched>> queues_ GUARDED_BY(mutex_);  // per reducer
   // Per map: pristine copies (retain mode). An overflowed publish retains

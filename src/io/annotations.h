@@ -16,11 +16,24 @@
 //     spuriously warn, so annotated code avoids them.
 //   * Private helpers that expect the lock held are marked
 //     `REQUIRES(mutex_)` and contain no locking themselves.
+//   * Every long-lived Mutex in src/ is constructed with a LockLevel from
+//     io/lock_order.h; debug/TSan/model-check builds validate every
+//     acquisition against the declared hierarchy (docs/LOCK_ORDER.md).
+//   * Under -DSCISHUFFLE_MODEL_CHECK, every operation here routes through
+//     the deterministic cooperative scheduler (io/model_sched.h) whenever
+//     one is installed, which is what makes schedules replayable and
+//     exhaustively explorable (testing/schedule.h).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+
+#include "io/lock_order.h"
+
+#ifdef SCISHUFFLE_MODEL_CHECK
+#include "io/model_sched.h"
+#endif
 
 #if defined(__clang__) && (!defined(SWIG))
 #define SCISHUFFLE_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -69,26 +82,151 @@ namespace scishuffle {
 
 class CondVar;
 
-/// std::mutex with the `capability` attribute so the analysis can name it.
+/// std::mutex with the `capability` attribute so the analysis can name it,
+/// plus (in checked builds) a declared level in the global lock hierarchy.
+/// In release builds the level constructor compiles to nothing and the class
+/// is layout-identical to std::mutex.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#ifdef SCISHUFFLE_LOCK_ORDER_CHECK
+  explicit Mutex(LockLevel level) noexcept : level_(level) {}
+
+  void lock(const std::source_location& loc = std::source_location::current()) ACQUIRE() {
+    lockorder::preAcquire(this, level_, loc);
+#ifdef SCISHUFFLE_MODEL_CHECK
+    if (auto* s = sched::Scheduler::active(); s != nullptr && !s->aborted()) {
+      s->lockMutex(this, loc);
+      modelOwned_ = true;
+    } else {
+      mu_.lock();
+    }
+#else
+    mu_.lock();
+#endif
+    lockorder::postAcquire(this, level_, loc);
+  }
+
+  void unlock() RELEASE() {
+    lockorder::release(this);
+#ifdef SCISHUFFLE_MODEL_CHECK
+    if (modelOwned_) {
+      modelOwned_ = false;
+      if (auto* s = sched::Scheduler::active()) s->unlockMutex(this);
+      return;
+    }
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock(const std::source_location& loc = std::source_location::current())
+      TRY_ACQUIRE(true) {
+    // try_lock cannot deadlock, so it is exempt from rank validation; a
+    // successful acquire is still tracked for reports and edges.
+#ifdef SCISHUFFLE_MODEL_CHECK
+    if (auto* s = sched::Scheduler::active(); s != nullptr && !s->aborted()) {
+      if (!s->tryLockMutex(this, loc)) return false;
+      modelOwned_ = true;
+      lockorder::postAcquire(this, level_, loc);
+      return true;
+    }
+#endif
+    if (!mu_.try_lock()) return false;
+    lockorder::postAcquire(this, level_, loc);
+    return true;
+  }
+#else   // !SCISHUFFLE_LOCK_ORDER_CHECK — release: zero-cost shim
+  explicit Mutex(LockLevel /*level*/) noexcept {}
+
   void lock() ACQUIRE() { mu_.lock(); }
   void unlock() RELEASE() { mu_.unlock(); }
   bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif  // SCISHUFFLE_LOCK_ORDER_CHECK
 
  private:
   friend class MutexLock;
   std::mutex mu_;
+#ifdef SCISHUFFLE_LOCK_ORDER_CHECK
+  LockLevel level_{};  // unranked unless constructed with a lock_rank level
+#ifdef SCISHUFFLE_MODEL_CHECK
+  // Whether the *current* ownership is model-side. Only ever written by the
+  // owning thread right after acquiring / right before releasing, so no
+  // synchronization is needed (and under a scheduler only one thread runs).
+  bool modelOwned_ = false;
+#endif
+#endif
 };
 
 /// RAII locker over Mutex (the annotated replacement for std::scoped_lock).
 /// Supports the mid-scope unlock()/lock() dance some call sites need (e.g.
 /// running fault-injection hooks outside the lock); the analysis then checks
 /// that every path out of the scope agrees on the lock state.
+#ifdef SCISHUFFLE_LOCK_ORDER_CHECK
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu,
+                     const std::source_location& loc = std::source_location::current())
+      ACQUIRE(mu)
+      : mu_(&mu), lock_(mu.mu_, std::defer_lock) {
+    acquire(loc);
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) release();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RELEASE() {
+    release();
+    held_ = false;
+  }
+  void lock(const std::source_location& loc = std::source_location::current()) ACQUIRE() {
+    acquire(loc);
+  }
+
+ private:
+  friend class CondVar;
+
+  void acquire(const std::source_location& loc) {
+    lockorder::preAcquire(mu_, mu_->level_, loc);
+#ifdef SCISHUFFLE_MODEL_CHECK
+    if (auto* s = sched::Scheduler::active(); s != nullptr && !s->aborted()) {
+      s->lockMutex(mu_, loc);
+      model_ = true;
+    } else {
+      model_ = false;
+      lock_.lock();
+    }
+#else
+    lock_.lock();
+#endif
+    lockorder::postAcquire(mu_, mu_->level_, loc);
+    held_ = true;
+  }
+
+  void release() {
+    lockorder::release(mu_);
+#ifdef SCISHUFFLE_MODEL_CHECK
+    if (model_) {
+      if (auto* s = sched::Scheduler::active()) s->unlockMutex(mu_);
+      return;
+    }
+#endif
+    lock_.unlock();
+  }
+
+  Mutex* mu_;
+  std::unique_lock<std::mutex> lock_;
+  bool held_ = false;
+#ifdef SCISHUFFLE_MODEL_CHECK
+  bool model_ = false;  // current hold is model-side (scheduler-owned)
+#endif
+};
+#else   // !SCISHUFFLE_LOCK_ORDER_CHECK
 class SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
@@ -105,18 +243,55 @@ class SCOPED_CAPABILITY MutexLock {
   friend class CondVar;
   std::unique_lock<std::mutex> lock_;
 };
+#endif  // SCISHUFFLE_LOCK_ORDER_CHECK
 
 /// Condition variable bound to MutexLock. wait() atomically releases and
 /// reacquires the lock, so from the analysis's point of view the capability
 /// is held before and after — callers re-check their condition in an explicit
 /// loop, which is exactly what keeps the guarded reads visible to the
 /// checker (a predicate lambda would be analyzed out of context).
+///
+/// The held-lock bookkeeping is deliberately *not* suspended across the wait:
+/// the stack is thread-local and this thread does nothing while parked, so
+/// its pre- and post-wait held-sets are identical.
 class CondVar {
  public:
   CondVar() = default;
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
+#ifdef SCISHUFFLE_MODEL_CHECK
+  void wait(MutexLock& lock,
+            const std::source_location& loc = std::source_location::current()) {
+    if (lock.model_) {
+      sched::Scheduler::active()->condWait(this, lock.mu_, loc);
+      return;
+    }
+    cv_.wait(lock.lock_);
+  }
+
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout,
+                const std::source_location& loc = std::source_location::current()) {
+    if (lock.model_) {
+      // Modeled as: the timeout fires only when nothing else can run (the
+      // scheduler's deadlock rescue) — "the periodic thread eventually
+      // ticks" without exploding the schedule space. The duration value is
+      // irrelevant under exploration.
+      return sched::Scheduler::active()->condWaitTimed(this, lock.mu_, loc);
+    }
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
+  void notify_one() noexcept {
+    if (auto* s = sched::Scheduler::active(); s != nullptr && !s->aborted()) s->notifyOne(this);
+    cv_.notify_one();
+  }
+  void notify_all() noexcept {
+    if (auto* s = sched::Scheduler::active(); s != nullptr && !s->aborted()) s->notifyAll(this);
+    cv_.notify_all();
+  }
+#else
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
 
   /// Timed wait for periodic background threads (the obs sampler): returns
@@ -129,6 +304,7 @@ class CondVar {
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
+#endif
 
  private:
   std::condition_variable cv_;

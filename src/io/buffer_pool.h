@@ -152,7 +152,7 @@ class VectorPool {
 
   const std::size_t maxEntries_;
   const std::size_t maxEntryElements_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kBufferPool};
   std::vector<std::vector<T>> free_ GUARDED_BY(mu_);
   u64 acquires_ GUARDED_BY(mu_) = 0;
   u64 reuses_ GUARDED_BY(mu_) = 0;

@@ -1,0 +1,205 @@
+#include "io/lock_order.h"
+
+#ifdef SCISHUFFLE_LOCK_ORDER_CHECK
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace scishuffle::lockorder {
+
+namespace {
+
+struct HeldLock {
+  const void* mu = nullptr;
+  LockLevel level;
+  const char* file = "";
+  unsigned line = 0;
+};
+
+// The held-stack is thread-local, so no locking is needed to validate an
+// acquisition — only the shared edge graph below takes a (raw, deliberately
+// un-tracked) std::mutex, and only on the first observation of an edge.
+thread_local std::vector<HeldLock> tHeld;
+
+struct EdgeSite {
+  std::string fromSite;  // where the holding lock was acquired
+  std::string toSite;    // where the nested lock was acquired
+};
+
+struct EdgeGraph {
+  std::mutex mu;
+  // name -> (name -> first-seen sites). Names are the stable identity; many
+  // mutex instances share a level.
+  std::map<std::string, std::map<std::string, EdgeSite>> edges;
+};
+
+EdgeGraph& graph() {
+  static EdgeGraph g;
+  return g;
+}
+
+std::atomic<std::uint64_t> gViolations{0};
+
+std::string site(const char* file, unsigned line) {
+  std::ostringstream os;
+  os << file << ":" << line;
+  return os.str();
+}
+
+std::string site(const std::source_location& loc) { return site(loc.file_name(), loc.line()); }
+
+/// BFS over the observed acquisition graph from `from` to `to`; returns the
+/// node path (inclusive) or empty when unreachable.
+std::vector<std::string> findPath(const std::string& from, const std::string& to) {
+  EdgeGraph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    const std::string node = queue.front();
+    queue.pop_front();
+    if (node == to) {
+      std::vector<std::string> path{to};
+      for (std::string cur = to; cur != from; cur = parent[cur]) path.push_back(parent[cur]);
+      return {path.rbegin(), path.rend()};
+    }
+    const auto it = g.edges.find(node);
+    if (it == g.edges.end()) continue;
+    for (const auto& [next, edgeSite] : it->second) {
+      if (parent.emplace(next, node).second) queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::string describeEdge(const std::string& from, const std::string& to) {
+  EdgeGraph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const auto it = g.edges.find(from);
+  if (it == g.edges.end()) return {};
+  const auto jt = it->second.find(to);
+  if (jt == it->second.end()) return {};
+  return jt->second.fromSite + " -> " + jt->second.toSite;
+}
+
+/// The deepest (most recently acquired) ranked lock on the held-stack, or
+/// nullptr when only unranked locks are held.
+const HeldLock* deepestRanked() {
+  for (auto it = tHeld.rbegin(); it != tHeld.rend(); ++it) {
+    if (it->level.name != nullptr) return &*it;
+  }
+  return nullptr;
+}
+
+[[noreturn]] void reportViolation(const void* mu, LockLevel level, const std::source_location& loc,
+                                  const HeldLock& offender, const char* kind) {
+  gViolations.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "lock-order violation (" << kind << "): acquiring \"" << level.name << "\" (rank "
+     << level.rank << ") at " << site(loc) << "\n";
+  os << "  held locks (acquisition order):\n";
+  for (const auto& h : tHeld) {
+    os << "    \"" << (h.level.name != nullptr ? h.level.name : "<unranked>") << "\" (rank "
+       << h.level.rank << ") acquired at " << site(h.file, h.line);
+    if (h.mu == offender.mu) os << "   <-- conflicts with this acquisition";
+    os << "\n";
+  }
+  // The descending edge closes a cycle with any observed path
+  // level -> ... -> offender; print that chain so the report reads as the
+  // deadlock it would become.
+  if (level.name != nullptr && offender.level.name != nullptr) {
+    const std::vector<std::string> path = findPath(level.name, offender.level.name);
+    if (!path.empty()) {
+      os << "  cycle through observed acquisition edges:\n";
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        os << "    " << path[i] << " -> " << path[i + 1] << "  ["
+           << describeEdge(path[i], path[i + 1]) << "]\n";
+      }
+      os << "    " << offender.level.name << " -> " << level.name << "  ["
+         << site(offender.file, offender.line) << " -> " << site(loc) << "]  <-- closes the cycle\n";
+    } else {
+      os << "  (no previously observed path " << level.name << " -> " << offender.level.name
+         << "; this acquisition is the first edge of the inversion)\n";
+    }
+  }
+  os << "  fix: acquire locks in ascending rank order per docs/LOCK_ORDER.md\n";
+  const std::string report = os.str();
+  std::fputs(report.c_str(), stderr);
+  std::fflush(stderr);
+  (void)mu;
+  throw LockOrderError(report);
+}
+
+}  // namespace
+
+void preAcquire(const void* mu, LockLevel level, const std::source_location& loc) {
+  for (const auto& h : tHeld) {
+    if (h.mu == mu) reportViolation(mu, level, loc, h, "recursive acquisition");
+  }
+  if (level.name == nullptr) return;  // unranked: tracked but not validated
+  for (const auto& h : tHeld) {
+    if (h.level.name == nullptr) continue;
+    if (level.rank <= h.level.rank) {
+      reportViolation(mu, level, loc,
+                      h, level.rank == h.level.rank ? "same-rank nesting" : "descending rank");
+    }
+  }
+}
+
+void postAcquire(const void* mu, LockLevel level, const std::source_location& loc) {
+  if (level.name != nullptr) {
+    if (const HeldLock* prev = deepestRanked(); prev != nullptr) {
+      // Record the edge once; a thread-local cache would save the lock, but
+      // checked builds are not perf-sensitive and the map is tiny.
+      EdgeGraph& g = graph();
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.edges[prev->level.name].emplace(
+          level.name, EdgeSite{site(prev->file, prev->line), site(loc)});
+    }
+  }
+  tHeld.push_back({mu, level, loc.file_name(), loc.line()});
+}
+
+void release(const void* mu) {
+  for (auto it = tHeld.rbegin(); it != tHeld.rend(); ++it) {
+    if (it->mu == mu) {
+      tHeld.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Releasing a lock this thread does not hold: tolerated (CondVar wait paths
+  // never hit this; a genuine bug here is caught by std::mutex itself).
+}
+
+bool enabled() { return true; }
+
+std::uint64_t violationCount() { return gViolations.load(std::memory_order_relaxed); }
+
+std::string heldLocksDescription() {
+  std::ostringstream os;
+  if (tHeld.empty()) return "    (no tracked locks held)\n";
+  for (const auto& h : tHeld) {
+    os << "    \"" << (h.level.name != nullptr ? h.level.name : "<unranked>") << "\" (rank "
+       << h.level.rank << ") acquired at " << site(h.file, h.line) << "\n";
+  }
+  return os.str();
+}
+
+void resetForTest() {
+  EdgeGraph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.edges.clear();
+  gViolations.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace scishuffle::lockorder
+
+#endif  // SCISHUFFLE_LOCK_ORDER_CHECK

@@ -10,11 +10,11 @@
 #include <future>
 #include <memory>
 #include <queue>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "io/annotations.h"
+#include "io/thread.h"
 #include "io/common.h"
 
 namespace scishuffle {
@@ -55,8 +55,8 @@ class ThreadPool {
  private:
   void workerLoop();
 
-  std::vector<std::thread> workers_;
-  mutable Mutex mutex_;
+  std::vector<Thread> workers_;
+  mutable Mutex mutex_{lock_rank::kThreadPool};
   CondVar wake_;
   CondVar idle_;
   std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);

@@ -86,7 +86,7 @@ class Connection {
  private:
   std::atomic<int> fd_{-1};  // shutdownNow() races the reader; -1 once closed
   testing::FaultInjector* faults_ = nullptr;
-  Mutex sendMu_;  // serialises writers; the fd itself is not guarded for recv
+  Mutex sendMu_{lock_rank::kNetConnectionSend};  // serialises writers; the fd itself is not guarded for recv
 };
 
 /// Listening UNIX socket: binds at construction (unlinking any stale file),
@@ -115,7 +115,7 @@ class Listener {
   const std::filesystem::path socketPath_;
   testing::FaultInjector* faults_ = nullptr;
   std::atomic<int> listenFd_{-1};  // accept() races stop(); -1 once closed
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kNetListener};
   bool stopped_ GUARDED_BY(mu_) = false;
 };
 

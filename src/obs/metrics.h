@@ -67,7 +67,7 @@ class Histogram {
   const std::string name_;
   const std::string unit_;
   const std::vector<u64> bounds_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kHistogram};
   std::vector<u64> counts_ GUARDED_BY(mutex_);
   u64 count_ GUARDED_BY(mutex_) = 0;
   u64 sum_ GUARDED_BY(mutex_) = 0;
@@ -106,7 +106,7 @@ class MetricsRegistry {
   JobTelemetry snapshot() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kMetricsRegistry};
   std::map<std::string, u64> counters_ GUARDED_BY(mutex_);
   std::map<std::string, u64> gauges_ GUARDED_BY(mutex_);
   // unique_ptr so the reference histogram() hands out stays valid while the

@@ -26,7 +26,7 @@ std::atomic<MetricsStream*> g_active{nullptr};
 std::atomic<std::size_t> g_boundStreams{0};
 
 struct MetricsBindings {
-  Mutex mu;
+  Mutex mu{lock_rank::kMetricsBindings};
   std::unordered_map<u64, MetricsStream*> byTag GUARDED_BY(mu);
 };
 

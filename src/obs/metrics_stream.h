@@ -60,7 +60,7 @@ class MetricsStream {
   void writeLine(const std::string& line) REQUIRES(mutex_);
 
   const u64 epochUs_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kMetricsStream};
   std::ofstream out_ GUARDED_BY(mutex_);
   std::map<std::string, u64> eventCounts_ GUARDED_BY(mutex_);
 };

@@ -121,11 +121,11 @@ void Sampler::start() {
   stopRequested_ = false;
   // The new thread's first action is to lock mutex_ (inside takeSample), so
   // it simply blocks until this scope releases it.
-  thread_ = std::thread([this] { loop(); });
+  thread_ = Thread([this] { loop(); });
 }
 
 void Sampler::stop() {
-  std::thread toJoin;
+  Thread toJoin;
   {
     MutexLock lock(mutex_);
     if (!running_) return;  // idempotent; also resolves stop()-vs-~Sampler races

@@ -25,6 +25,8 @@
 #include <map>
 #include <string>
 #include <thread>
+
+#include "io/thread.h"
 #include <vector>
 
 #include "io/annotations.h"
@@ -148,7 +150,7 @@ class GaugeRegistry {
     GaugeFn fn;
   };
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kGaugeRegistry};
   std::vector<Source> sources_ GUARDED_BY(mutex_);
   u64 nextId_ GUARDED_BY(mutex_) = 1;
 };
@@ -213,11 +215,11 @@ class Sampler {
   TraceRecorder* recorder_;
   MetricsStream* stream_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kSampler};
   CondVar wake_;
   bool running_ GUARDED_BY(mutex_) = false;
   bool stopRequested_ GUARDED_BY(mutex_) = false;
-  std::thread thread_ GUARDED_BY(mutex_);
+  Thread thread_ GUARDED_BY(mutex_);
   u64 samples_ GUARDED_BY(mutex_) = 0;
   std::map<std::string, GaugeRollup> rollups_ GUARDED_BY(mutex_);
 };

@@ -26,7 +26,7 @@ std::atomic<TraceRecorder*> g_active{nullptr};
 std::atomic<std::size_t> g_boundTraces{0};
 
 struct TraceBindings {
-  Mutex mu;
+  Mutex mu{lock_rank::kTraceBindings};
   std::unordered_map<u64, TraceRecorder*> byTag GUARDED_BY(mu);
 };
 

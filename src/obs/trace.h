@@ -75,7 +75,7 @@ class TraceRecorder {
 
  private:
   const u64 epochUs_;  // steady-clock us at construction
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kTraceRecorder};
   std::vector<Span> spans_ GUARDED_BY(mutex_);
   std::vector<CounterSample> counters_ GUARDED_BY(mutex_);
   std::unordered_map<std::thread::id, u32> tids_ GUARDED_BY(mutex_);

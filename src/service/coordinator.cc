@@ -70,7 +70,7 @@ class ErrorSlot {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kErrorSlot};
   std::exception_ptr first_ GUARDED_BY(mu_);
 };
 
@@ -150,7 +150,7 @@ class Coordinator {
 
   DistributedResult result_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kCoordinator};
   CondVar schedWake_;
   std::vector<TaskState> tasks_ GUARDED_BY(mu_);
   std::map<u32, WorkerProc> workers_ GUARDED_BY(mu_);
@@ -160,7 +160,7 @@ class Coordinator {
   u64 recoveryLatencyUs_ GUARDED_BY(mu_) = 0;
   std::vector<std::thread> handlerThreads_ GUARDED_BY(mu_);
 
-  Mutex monMu_;
+  Mutex monMu_{lock_rank::kCoordinatorMonitor};
   CondVar monWake_;
   bool monStop_ GUARDED_BY(monMu_) = false;
 

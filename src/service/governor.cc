@@ -49,11 +49,11 @@ void MemoryGovernor::start() {
   // admission decision must never see lastRss == 0 and wave a burst through.
   tick();
   MutexLock lock(mu_);
-  thread_ = std::thread([this] { loop(); });
+  thread_ = Thread([this] { loop(); });
 }
 
 void MemoryGovernor::stop() {
-  std::thread toJoin;
+  Thread toJoin;
   {
     MutexLock lock(mu_);
     if (!running_) return;

@@ -23,6 +23,8 @@
 #include <functional>
 #include <map>
 #include <thread>
+
+#include "io/thread.h"
 #include <vector>
 
 #include "io/annotations.h"
@@ -107,11 +109,11 @@ class MemoryGovernor {
   std::function<void()> wakeCallback_;  // const after start()
   const u64 epochUs_;                   // rollup timestamp fallback
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kGovernor};
   CondVar wake_;
   bool running_ GUARDED_BY(mu_) = false;
   bool stopRequested_ GUARDED_BY(mu_) = false;
-  std::thread thread_ GUARDED_BY(mu_);
+  Thread thread_ GUARDED_BY(mu_);
   std::vector<hadoop::ShuffleServer*> fleet_ GUARDED_BY(mu_);
   u64 lastRss_ GUARDED_BY(mu_) = 0;
   u64 peakRss_ GUARDED_BY(mu_) = 0;

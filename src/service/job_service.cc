@@ -85,7 +85,7 @@ JobService::JobService(ServiceConfig config) : config_(std::move(config)) {
     governor_->start();
   }
   runnerPool_ = std::make_unique<ThreadPool>(config_.max_concurrent_jobs);
-  dispatcher_ = std::thread([this] { dispatcherLoop(); });
+  dispatcher_ = Thread([this] { dispatcherLoop(); });
 
   // Gauge registrations last (they read state declared above; see the
   // teardown-order note in the header). The service owns the shared-pool

@@ -200,7 +200,7 @@ class JobService {
   std::unique_ptr<ThreadPool> codecPool_;
   std::unique_ptr<MemoryGovernor> governor_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_rank::kJobService};
   CondVar dispatchWake_;
   CondVar stateChanged_;
   std::map<u64, std::shared_ptr<Job>> jobs_ GUARDED_BY(mutex_);
@@ -213,7 +213,7 @@ class JobService {
   bool shutdownDone_ GUARDED_BY(mutex_) = false;
 
   std::unique_ptr<ThreadPool> runnerPool_;
-  std::thread dispatcher_;
+  Thread dispatcher_;
 
   obs::GaugeRegistration jobsRunningGauge_;
   obs::GaugeRegistration jobsQueuedGauge_;

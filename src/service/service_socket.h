@@ -74,7 +74,7 @@ class ServiceEndpoint {
   const SpecBuilder builder_;
   int listenFd_ = -1;  // const after construction until stop()
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kServiceEndpoint};
   CondVar shutdownCv_;
   bool shutdownRequested_ GUARDED_BY(mu_) = false;
   bool stopped_ GUARDED_BY(mu_) = false;

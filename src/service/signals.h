@@ -36,7 +36,7 @@ class ShutdownSignalGuard {
   std::function<void()> onFirst_;
   std::function<void()> onSecond_;
   std::thread watcher_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kSignalGuard};
   int delivered_ GUARDED_BY(mu_) = 0;
 };
 

@@ -48,7 +48,7 @@ class SegmentStore {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lock_rank::kSegmentStore};
   std::map<u32, std::vector<Bytes>> store_ GUARDED_BY(mu_);
 };
 
@@ -121,7 +121,7 @@ class DataPlane {
   const SegmentStore& store_;
   const std::atomic<bool>& hung_;
   std::thread acceptor_;
-  Mutex mu_;
+  Mutex mu_{lock_rank::kDataPlane};
   std::vector<std::thread> conns_ GUARDED_BY(mu_);
 };
 
@@ -170,7 +170,7 @@ class HeartbeatThread {
   const u32 workerId_;
   const u64 intervalMs_;
   const std::atomic<bool>& hung_;
-  Mutex mu_;
+  Mutex mu_{lock_rank::kHeartbeat};
   CondVar wake_;
   bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;

@@ -12,7 +12,7 @@ namespace scishuffle::service {
 namespace {
 
 Mutex& registryMutex() {
-  static Mutex mu;
+  static Mutex mu{lock_rank::kWorkloadRegistry};
   return mu;
 }
 

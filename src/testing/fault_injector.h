@@ -90,7 +90,7 @@ class FaultInjector {
   bool shouldFire(std::size_t i, const std::string& site) REQUIRES(lock_);
 
   FaultPlan plan_;  // const after construction
-  mutable Mutex lock_;
+  mutable Mutex lock_{lock_rank::kFaultInjector};
   std::mt19937_64 rng_ GUARDED_BY(lock_);
   std::vector<RuleState> states_ GUARDED_BY(lock_);
   std::unordered_map<std::string, u64> site_triggers_ GUARDED_BY(lock_);

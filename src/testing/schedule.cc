@@ -1,0 +1,212 @@
+#include "testing/schedule.h"
+
+#ifdef SCISHUFFLE_MODEL_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "io/model_sched.h"
+
+namespace scishuffle::testing {
+
+namespace {
+
+/// PCT-style randomized priorities: run the highest-priority candidate; with
+/// change_prob re-roll the winner so preemption points land at random depths.
+class PctStrategy : public sched::Strategy {
+ public:
+  PctStrategy(std::uint64_t seed, double changeProb) : rng_(seed), changeProb_(changeProb) {}
+
+  void onThreadRegistered(int tid) override { prio_[tid] = rng_(); }
+
+  std::size_t pick(const std::vector<int>& candidates) override {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (prio_[candidates[i]] > prio_[candidates[best]]) best = i;
+    }
+    if (std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < changeProb_) {
+      prio_[candidates[best]] = rng_();
+    }
+    return best;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  double changeProb_;
+  std::unordered_map<int, std::uint64_t> prio_;
+};
+
+/// Bounded exhaustive DFS over the choice tree: replay the recorded prefix,
+/// take the first branch at the frontier, then backtrack from the deepest
+/// incrementable choice after each run.
+class DfsStrategy : public sched::Strategy {
+ public:
+  std::size_t pick(const std::vector<int>& candidates) override {
+    const std::size_t n = candidates.size();
+    std::size_t choice;
+    if (pos_ < prefix_.size()) {
+      // Tolerate divergence (a schedule whose candidate count shifted after
+      // an earlier subtree was pruned): clamp rather than crash, and record
+      // the actual width for backtracking.
+      choice = prefix_[pos_] < n ? prefix_[pos_] : n - 1;
+      prefix_[pos_] = choice;
+      counts_[pos_] = n;
+    } else {
+      choice = 0;
+      prefix_.push_back(0);
+      counts_.push_back(n);
+    }
+    ++pos_;
+    return choice;
+  }
+
+  /// Prepares the next schedule; false when the space is exhausted.
+  bool advance() {
+    prefix_.resize(pos_);
+    counts_.resize(pos_);
+    while (!prefix_.empty()) {
+      if (prefix_.back() + 1 < counts_.back()) {
+        ++prefix_.back();
+        pos_ = 0;
+        return true;
+      }
+      prefix_.pop_back();
+      counts_.pop_back();
+    }
+    return false;
+  }
+
+  void beginRun() { pos_ = 0; }
+
+ private:
+  std::vector<std::size_t> prefix_;
+  std::vector<std::size_t> counts_;
+  std::size_t pos_ = 0;
+};
+
+/// One schedule: install, run, uninstall. Returns the failure text (empty on
+/// success). Body exceptions become failures; SchedulerAborted means the
+/// scheduler already recorded the root cause.
+std::string runOne(const std::function<void()>& body, sched::Strategy& strategy,
+                   std::uint64_t maxSteps) {
+  sched::Scheduler scheduler(&strategy, maxSteps);
+  scheduler.install();
+  try {
+    body();
+  } catch (const sched::SchedulerAborted&) {
+    // Failure already recorded by whoever aborted the schedule.
+  } catch (const std::exception& e) {
+    scheduler.recordFailure(e.what());
+  } catch (...) {
+    scheduler.recordFailure("non-std exception escaped the explore body");
+  }
+  scheduler.uninstall();
+  return scheduler.hasFailure() ? scheduler.failureText() : std::string();
+}
+
+}  // namespace
+
+std::string replaySeed(const std::function<void()>& body, std::uint64_t seed,
+                       const ExploreOptions& options) {
+  PctStrategy strategy(seed, options.change_prob);
+  return runOne(body, strategy, options.max_steps);
+}
+
+ExploreResult explore(const std::function<void()>& body, const ExploreOptions& options) {
+  ExploreResult result;
+
+  // Manual replay hook: SCISHUFFLE_SCHED_SEED=<n> pins every explore() call
+  // to that one randomized schedule.
+  if (const char* env = std::getenv("SCISHUFFLE_SCHED_SEED")) {
+    const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+    std::fprintf(stderr, "explore: SCISHUFFLE_SCHED_SEED=%llu (single-schedule replay)\n",
+                 static_cast<unsigned long long>(seed));
+    const std::string failure = replaySeed(body, seed, options);
+    result.schedules_run = 1;
+    if (!failure.empty()) {
+      result.failed = true;
+      result.failing_seed = seed;
+      result.failing_schedule = 0;
+      result.failure = failure;
+    }
+    return result;
+  }
+
+  if (options.exhaustive) {
+    DfsStrategy strategy;
+    for (int i = 0; i < options.max_schedules; ++i) {
+      strategy.beginRun();
+      const std::string failure = runOne(body, strategy, options.max_steps);
+      ++result.schedules_run;
+      if (!failure.empty() && !result.failed) {
+        result.failed = true;
+        result.failing_schedule = i;
+        result.failure = failure;
+        std::fprintf(stderr, "explore: DFS schedule %d failed:\n%s\n", i, failure.c_str());
+        if (options.stop_on_failure) return result;
+      }
+      if (!strategy.advance()) {
+        result.exhausted = true;
+        return result;
+      }
+    }
+    return result;  // space larger than max_schedules: bounded coverage
+  }
+
+  for (int i = 0; i < options.max_schedules; ++i) {
+    const std::uint64_t seed = options.seed + static_cast<std::uint64_t>(i);
+    const std::string failure = replaySeed(body, seed, options);
+    ++result.schedules_run;
+    if (!failure.empty()) {
+      result.failed = true;
+      result.failing_seed = seed;
+      result.failing_schedule = i;
+      result.failure = failure;
+      std::fprintf(stderr,
+                   "explore: schedule %d (seed %llu) failed; replay with "
+                   "SCISHUFFLE_SCHED_SEED=%llu\n%s\n",
+                   i, static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed), failure.c_str());
+      if (options.stop_on_failure) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace scishuffle::testing
+
+#else  // !SCISHUFFLE_MODEL_CHECK — degrade to a single native run
+
+namespace scishuffle::testing {
+
+ExploreResult explore(const std::function<void()>& body, const ExploreOptions& options) {
+  (void)options;
+  ExploreResult result;
+  result.schedules_run = 1;
+  try {
+    body();
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.failure = e.what();
+  }
+  return result;
+}
+
+std::string replaySeed(const std::function<void()>& body, std::uint64_t seed,
+                       const ExploreOptions& options) {
+  (void)seed;
+  (void)options;
+  try {
+    body();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return {};
+}
+
+}  // namespace scishuffle::testing
+
+#endif  // SCISHUFFLE_MODEL_CHECK

@@ -1,0 +1,69 @@
+// Deterministic schedule exploration over the cooperative scheduler
+// (io/model_sched.h). Only meaningful in -DSCISHUFFLE_MODEL_CHECK builds;
+// elsewhere explore() degrades to running the body once on the OS scheduler
+// so shared tests still compile.
+//
+// Two strategies (docs/STATIC_ANALYSIS.md):
+//   * PCT-style randomized priorities (default): each thread gets a random
+//     priority at registration; every choice point runs the highest-priority
+//     runnable thread, and with `change_prob` the winner's priority is
+//     re-rolled — the classic randomized-priority explorer with preemption
+//     points at every sync op. Each schedule is fully determined by its
+//     seed, so a failure replays exactly from the printed seed (also via the
+//     SCISHUFFLE_SCHED_SEED environment variable).
+//   * Bounded exhaustive DFS (`exhaustive = true`): enumerates the choice
+//     tree of a small thread count in depth-first order until the space is
+//     exhausted or `max_schedules` is hit.
+//
+// A schedule fails when the body (or any managed thread) throws, when the
+// scheduler detects a deadlock (every thread blocked, no timed waiter to
+// rescue), or when the per-schedule step limit trips.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace scishuffle::testing {
+
+struct ExploreOptions {
+  /// Upper bound on schedules run (DFS may exhaust the space earlier).
+  int max_schedules = 1000;
+  /// Base seed for the randomized strategy; schedule i uses seed + i.
+  std::uint64_t seed = 1;
+  /// Enumerate the choice tree exhaustively instead of sampling.
+  bool exhaustive = false;
+  /// Probability that a choice point re-rolls the winner's priority.
+  double change_prob = 0.10;
+  /// Per-schedule scheduling-decision bound (livelock guard).
+  std::uint64_t max_steps = 2'000'000;
+  /// Stop at the first failing schedule (after confirming it replays).
+  bool stop_on_failure = true;
+};
+
+struct ExploreResult {
+  int schedules_run = 0;
+  /// DFS only: the whole choice space was enumerated.
+  bool exhausted = false;
+  bool failed = false;
+  /// Seed of the failing schedule (randomized strategy; replay with
+  /// replaySeed or SCISHUFFLE_SCHED_SEED).
+  std::uint64_t failing_seed = 0;
+  /// Index of the failing schedule (both strategies).
+  int failing_schedule = -1;
+  std::string failure;
+};
+
+/// Runs `body` under many schedules. The body is invoked once per schedule
+/// with a fresh scheduler installed; it must join every Thread it spawns
+/// before returning. On failure with the randomized strategy, the failing
+/// seed is re-run once to confirm determinism before being reported.
+ExploreResult explore(const std::function<void()>& body, const ExploreOptions& options = {});
+
+/// Replays exactly one randomized schedule. Returns the failure text (empty
+/// when the schedule passes) — the deterministic-reproduction half of a
+/// printed-seed report.
+std::string replaySeed(const std::function<void()>& body, std::uint64_t seed,
+                       const ExploreOptions& options = {});
+
+}  // namespace scishuffle::testing

@@ -119,6 +119,31 @@ TEST(LintGauges, DuplicateWireNameIsReported) {
   EXPECT_TRUE(hasDiagnostic(diags, "sampler.h", "mapped by both kProcessRssBytes"));
 }
 
+TEST(LintSync, RawPrimitiveOutsideAnnotationsIsReported) {
+  const auto diags = lint::checkSyncPrimitives(fixture("raw_sync_primitive"));
+  ASSERT_EQ(diags.size(), 2u);  // the std::mutex decl and the std::lock_guard use
+  EXPECT_TRUE(hasDiagnostic(diags, "src/hadoop/bad_sync.cc", "std::mutex"));
+  EXPECT_TRUE(hasDiagnostic(diags, "src/hadoop/bad_sync.cc", "std::lock_guard"));
+  EXPECT_TRUE(hasDiagnostic(diags, "bad_sync.cc", "io/annotations.h"));
+}
+
+TEST(LintSync, UnrankedMutexAndUndocumentedLevelAreReported) {
+  const auto diags = lint::checkLockHierarchy(fixture("unregistered_mutex"));
+  ASSERT_EQ(diags.size(), 2u);
+  // kGhost is declared in the hierarchy header but missing from the doc.
+  EXPECT_TRUE(hasDiagnostic(diags, "src/io/lock_order.h", "test.ghost"));
+  EXPECT_TRUE(hasDiagnostic(diags, "lock_order.h", "docs/LOCK_ORDER.md"));
+  // naked_ declares no lock_rank:: level at all.
+  EXPECT_TRUE(hasDiagnostic(diags, "src/hadoop/state.h", "naked_"));
+}
+
+TEST(LintSync, UnguardedCondVarWaitIsReported) {
+  const auto diags = lint::checkCondVarWaits(fixture("unguarded_cond_wait"));
+  ASSERT_EQ(diags.size(), 1u);  // goodWait/goodPoll must not be flagged
+  EXPECT_TRUE(hasDiagnostic(diags, "src/hadoop/waiter.cc", "ready_"));
+  EXPECT_EQ(diags[0].line, 10);  // the bare ready_.wait(lock) in badWait()
+}
+
 TEST(LintMissingInputs, AbsentFilesProduceDiagnosticsNotCrashes) {
   const auto root = fixture("does_not_exist");
   EXPECT_FALSE(lint::checkCounters(root).empty());
@@ -127,6 +152,7 @@ TEST(LintMissingInputs, AbsentFilesProduceDiagnosticsNotCrashes) {
   EXPECT_FALSE(lint::checkFaultSites(root).empty());
   EXPECT_FALSE(lint::checkSimdKernels(root).empty());
   EXPECT_FALSE(lint::checkGauges(root).empty());
+  EXPECT_FALSE(lint::checkLockHierarchy(root).empty());
 }
 
 // The real tree must hold every invariant — the same gate `lint.repo` runs.

@@ -397,11 +397,222 @@ std::vector<Diagnostic> checkGauges(const fs::path& root) {
   return diags;
 }
 
+namespace {
+
+/// Files allowed to touch raw std synchronization primitives: the annotated
+/// wrappers themselves plus the lock-order checker and the model-check
+/// scheduler they are built on (which must not recurse into themselves).
+bool isSyncLayerFile(const std::string& relPath) {
+  static const char* const kAllow[] = {
+      "src/io/annotations.h",  "src/io/lock_order.h",    "src/io/lock_order.cc",
+      "src/io/model_sched.h",  "src/io/model_sched.cc",  "src/io/thread.h",
+      "src/testing/schedule.h", "src/testing/schedule.cc"};
+  for (const char* a : kAllow) {
+    if (relPath == a) return true;
+  }
+  return false;
+}
+
+/// Code text of a line: everything before any // comment.
+std::string stripLineComment(const std::string& line) {
+  const std::size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+struct LockLevelDecl {
+  std::string ident;  // kFooBar
+  int rank = 0;
+  std::string name;  // "subsystem.lock"
+  int line = 0;
+};
+
+std::vector<LockLevelDecl> parseLockLevels(const std::vector<std::string>& lines) {
+  static const std::regex re(
+      R"re(inline\s+constexpr\s+LockLevel\s+(k\w+)\{(\d+),\s*"([^"]+)"\};)re");
+  std::vector<LockLevelDecl> out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], m, re)) {
+      out.push_back({m[1].str(), std::stoi(m[2].str()), m[3].str(), static_cast<int>(i + 1)});
+    }
+  }
+  return out;
+}
+
+/// True when the wait at lines[waitIdx] (receiver match ending at `col`) sits
+/// inside a while/for/do loop: either the same statement (`while (!x)
+/// cv.wait(lock);`) or any enclosing brace whose opener is a loop header.
+/// Walks every enclosing level, so `if (...) cv.wait_for(...)` inside a
+/// `for (;;)` poll loop — a legal shape — is accepted.
+bool waitIsInsideLoop(const std::vector<std::string>& lines, std::size_t waitIdx,
+                      std::size_t col) {
+  static const std::regex loopRe(R"re((^|[^\w])(while|for)\s*\(|(^|[^\w])do\s*\{)re");
+  const auto hasLoop = [](const std::string& text) {
+    return std::regex_search(text, loopRe);
+  };
+  if (hasLoop(stripLineComment(lines[waitIdx]).substr(0, col))) return true;
+  int depth = 0;
+  for (std::size_t i = waitIdx + 1; i-- > 0;) {
+    std::string text = stripLineComment(lines[i]);
+    if (i == waitIdx) text = text.substr(0, col);
+    for (std::size_t j = text.size(); j-- > 0;) {
+      if (text[j] == '}') {
+        ++depth;
+      } else if (text[j] == '{') {
+        if (depth > 0) {
+          --depth;
+          continue;
+        }
+        // Unmatched opener: an enclosing scope. Loop headers may span lines
+        // (`while (cond &&\n  more) {`), so include a little leading context.
+        std::string header = text.substr(0, j);
+        std::size_t pulled = 0;
+        for (std::size_t k = i; k-- > 0 && pulled < 3; ++pulled) {
+          header = stripLineComment(lines[k]) + " " + header;
+        }
+        if (hasLoop(header)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> checkSyncPrimitives(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  static const std::regex bannedRe(
+      R"re(std::(recursive_mutex|timed_mutex|shared_mutex|mutex|lock_guard|scoped_lock|unique_lock|condition_variable_any|condition_variable)\b)re");
+  for (const SourceFile& f : loadSources(root, diags)) {
+    if (isSyncLayerFile(f.relPath)) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      std::smatch m;
+      const std::string code = stripLineComment(f.lines[i]);
+      if (std::regex_search(code, m, bannedRe)) {
+        diags.push_back(
+            {f.relPath, static_cast<int>(i + 1),
+             "raw std::" + m[1].str() +
+                 " outside io/annotations.h; use the annotated Mutex/MutexLock/CondVar so the "
+                 "lock-order checker, thread-safety analysis and model-check scheduler see it"});
+      }
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> checkLockHierarchy(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::string header = "src/io/lock_order.h";
+  std::vector<std::string> lines;
+  if (!readLines(root, header, lines, diags)) return diags;
+  const std::vector<LockLevelDecl> levels = parseLockLevels(lines);
+  const std::string docs = readAll(root, "docs/LOCK_ORDER.md", diags);
+
+  std::map<std::string, std::string> rankOwner;  // rank (as text) -> ident
+  std::map<std::string, std::string> nameOwner;
+  std::map<std::string, bool> known;  // ident -> declared
+  for (const LockLevelDecl& l : levels) {
+    known[l.ident] = true;
+    const std::string rankText = std::to_string(l.rank);
+    if (const auto [it, fresh] = rankOwner.emplace(rankText, l.ident); !fresh) {
+      diags.push_back({header, l.line,
+                       "lock rank " + rankText + " assigned to both " + it->second + " and " +
+                           l.ident + "; ranks must be a total order"});
+    }
+    if (const auto [it, fresh] = nameOwner.emplace(l.name, l.ident); !fresh) {
+      diags.push_back({header, l.line,
+                       "lock name \"" + l.name + "\" declared by both " + it->second + " and " +
+                           l.ident});
+    }
+    if (!docs.empty() && docs.find(l.name) == std::string::npos) {
+      diags.push_back({header, l.line,
+                       "lock level " + l.ident + " (\"" + l.name +
+                           "\") is not documented in docs/LOCK_ORDER.md; every level needs a row "
+                           "in the hierarchy table"});
+    }
+  }
+
+  // Every Mutex member/variable in src/ must name a level from the
+  // hierarchy — an unranked production mutex is invisible to the checker.
+  static const std::regex declRe(R"re((^|[^:\w<])Mutex\s+(\w+)\s*([;{]))re");
+  static const std::regex rankRefRe(R"re(lock_rank::(k\w+))re");
+  for (const SourceFile& f : loadSources(root, diags)) {
+    if (isSyncLayerFile(f.relPath)) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string code = stripLineComment(f.lines[i]);
+      std::smatch m;
+      if (!std::regex_search(code, m, declRe)) continue;
+      if (m[3].str() == ";") {
+        diags.push_back({f.relPath, static_cast<int>(i + 1),
+                         "Mutex " + m[2].str() +
+                             " has no declared lock level; construct it with a lock_rank:: "
+                             "constant from src/io/lock_order.h (docs/LOCK_ORDER.md)"});
+        continue;
+      }
+      std::smatch r;
+      if (!std::regex_search(code, r, rankRefRe)) {
+        diags.push_back({f.relPath, static_cast<int>(i + 1),
+                         "Mutex " + m[2].str() +
+                             " is initialized without a lock_rank:: level from "
+                             "src/io/lock_order.h"});
+      } else if (!known.count(r[1].str())) {
+        diags.push_back({f.relPath, static_cast<int>(i + 1),
+                         "Mutex " + m[2].str() + " names lock_rank::" + r[1].str() +
+                             ", which is not declared in src/io/lock_order.h"});
+      }
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> checkCondVarWaits(const fs::path& root) {
+  std::vector<Diagnostic> diags;
+  const std::vector<SourceFile> sources = loadSources(root, diags);
+
+  // Pass 1: every identifier declared as a CondVar anywhere under src/.
+  // Receiver names are matched globally — cheap, and ThreadPool::wait /
+  // RetryBackoff::wait style methods never collide with member cv names.
+  static const std::regex declRe(R"re((^|[^\w])CondVar\s+(\w+)\s*;)re");
+  std::map<std::string, bool> condVars;
+  for (const SourceFile& f : sources) {
+    for (const std::string& line : f.lines) {
+      std::smatch m;
+      const std::string code = stripLineComment(line);
+      if (std::regex_search(code, m, declRe)) condVars[m[2].str()] = true;
+    }
+  }
+
+  // Pass 2: every wait on one of those names must sit in a re-check loop —
+  // a bare `cv.wait(lock)` after a one-shot predicate check is the classic
+  // lost-wakeup / spurious-wakeup bug (the model checker finds the former;
+  // this check refuses both shapes before any schedule runs).
+  static const std::regex waitRe(R"re((\w+)\.wait(_for)?\s*\()re");
+  for (const SourceFile& f : sources) {
+    if (isSyncLayerFile(f.relPath)) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string code = stripLineComment(f.lines[i]);
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), waitRe);
+           it != std::sregex_iterator(); ++it) {
+        const std::smatch& m = *it;
+        if (!condVars.count(m[1].str())) continue;
+        if (!waitIsInsideLoop(f.lines, i, static_cast<std::size_t>(m.position(0)))) {
+          diags.push_back({f.relPath, static_cast<int>(i + 1),
+                           "CondVar " + m[1].str() + ".wait" + m[2].str() +
+                               " is not inside a while/for re-check loop; wrap it as `while "
+                               "(!cond) wait(...)` (spurious wakeups and lost notifies otherwise "
+                               "pass silently)"});
+        }
+      }
+    }
+  }
+  return diags;
+}
+
 int runAllChecks(const fs::path& root, std::ostream& os) {
   std::vector<Diagnostic> all;
   for (const auto& check :
        {checkCounters, checkFormats, checkSpans, checkFaultSites, checkSimdKernels,
-        checkGauges}) {
+        checkGauges, checkSyncPrimitives, checkLockHierarchy, checkCondVarWaits}) {
     auto diags = check(root);
     all.insert(all.end(), diags.begin(), diags.end());
   }

@@ -25,6 +25,10 @@
 //                  to exactly one wire name, is referenced outside the
 //                  sampler subsystem (dead telemetry rots silently), and is
 //                  documented in docs/OBSERVABILITY.md's gauge/event tables.
+//   * sync       — raw std sync primitives stay confined to io/annotations.h
+//                  and the checker/scheduler layer, every Mutex under src/
+//                  declares a lock_rank:: level that docs/LOCK_ORDER.md
+//                  documents, and every CondVar wait sits in a re-check loop.
 //
 // Each check takes the repo root, reads only the files it names, and returns
 // diagnostics carrying file:line so CI output is clickable. Header
@@ -54,6 +58,21 @@ std::vector<Diagnostic> checkSpans(const std::filesystem::path& root);
 std::vector<Diagnostic> checkFaultSites(const std::filesystem::path& root);
 std::vector<Diagnostic> checkSimdKernels(const std::filesystem::path& root);
 std::vector<Diagnostic> checkGauges(const std::filesystem::path& root);
+
+/// Sync discipline (docs/LOCK_ORDER.md): raw std::mutex / std::lock_guard /
+/// std::condition_variable are banned outside io/annotations.h and the
+/// checker/scheduler layer beneath it — code using them is invisible to the
+/// thread-safety analysis, the lock-order checker and the model-check
+/// scheduler alike.
+std::vector<Diagnostic> checkSyncPrimitives(const std::filesystem::path& root);
+
+/// The declared lock hierarchy: ranks and names in src/io/lock_order.h are
+/// unique, every level has a row in docs/LOCK_ORDER.md, and every Mutex
+/// declared under src/ is constructed with a lock_rank:: level.
+std::vector<Diagnostic> checkLockHierarchy(const std::filesystem::path& root);
+
+/// Every CondVar wait/wait_for sits inside a while/for re-check loop.
+std::vector<Diagnostic> checkCondVarWaits(const std::filesystem::path& root);
 
 /// Runs every check, prints diagnostics to `os`, returns the total count.
 int runAllChecks(const std::filesystem::path& root, std::ostream& os);

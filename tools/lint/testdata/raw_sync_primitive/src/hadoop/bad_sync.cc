@@ -1,0 +1,12 @@
+// Seeded violation: raw std synchronization primitives outside
+// io/annotations.h — invisible to the thread-safety analysis, the lock-order
+// checker and the model-check scheduler.
+#include <mutex>
+
+namespace scishuffle {
+
+std::mutex gBadMutex;
+
+void touchUnderRawLock() { std::lock_guard<std::mutex> lock(gBadMutex); }
+
+}  // namespace scishuffle

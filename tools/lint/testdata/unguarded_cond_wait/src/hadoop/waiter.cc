@@ -1,0 +1,32 @@
+// Seeded violation: badWait() parks on the CondVar without a re-check loop.
+// goodWait() and goodPoll() are the two legal shapes (while-wrapped wait and
+// a timed poll inside a for loop) and must not be flagged.
+namespace scishuffle {
+
+class Waiter {
+ public:
+  void badWait() {
+    MutexLock lock(mu_);
+    ready_.wait(lock);
+  }
+
+  void goodWait() {
+    MutexLock lock(mu_);
+    while (!flag_) ready_.wait(lock);
+  }
+
+  void goodPoll() {
+    for (;;) {
+      MutexLock lock(mu_);
+      if (!flag_) ready_.wait_for(lock, 5);
+      return;
+    }
+  }
+
+ private:
+  Mutex mu_;
+  CondVar ready_;
+  bool flag_ = false;
+};
+
+}  // namespace scishuffle

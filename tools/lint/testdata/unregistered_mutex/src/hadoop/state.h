@@ -1,0 +1,9 @@
+// Seeded violation: `naked_` declares no lock level, so the runtime
+// lock-order checker cannot validate acquisitions against it.
+#pragma once
+
+class State {
+ private:
+  Mutex good_{lock_rank::kAlpha};
+  Mutex naked_;
+};

@@ -1,0 +1,15 @@
+// Fixture hierarchy: kAlpha is documented in docs/LOCK_ORDER.md, kGhost is
+// the seeded violation (declared but undocumented).
+#pragma once
+
+struct LockLevel {
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+namespace lock_rank {
+
+inline constexpr LockLevel kAlpha{10, "test.alpha"};
+inline constexpr LockLevel kGhost{20, "test.ghost"};
+
+}  // namespace lock_rank
